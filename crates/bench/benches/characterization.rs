@@ -1,0 +1,34 @@
+//! Criterion benchmark: characterization primitives (m-ISPE probe, FELP
+//! prediction, EPT derivation).
+
+use aero_characterize::MIspeProbe;
+use aero_core::ept::Ept;
+use aero_core::felp::Felp;
+use aero_nand::chip_family::ChipFamily;
+use aero_nand::reliability::ecc::EccConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_characterization(c: &mut Criterion) {
+    let family = ChipFamily::tlc_3d_48l();
+
+    c.bench_function("mispe_probe_single_block", |b| {
+        let probe = MIspeProbe::new(&family);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        b.iter(|| probe.probe(17.0, &mut rng));
+    });
+
+    c.bench_function("felp_predict", |b| {
+        let felp = Felp::new(&family, Ept::paper_table1(), true);
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        b.iter(|| felp.predict(3, 12_000, &mut rng));
+    });
+
+    c.bench_function("ept_derive", |b| {
+        b.iter(|| Ept::derive(&family, &EccConfig::paper_default()));
+    });
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark: cost of one erase operation under each scheme, on a
+//! block pre-aged to 2.5K P/E cycles (the latency here is host-side model
+//! time, not simulated flash time — it shows the overhead AERO's extra
+//! decision logic adds, which the paper argues is negligible).
+
+use aero_core::controller::EraseController;
+use aero_core::scheme::BlockId;
+use aero_core::SchemeKind;
+use aero_nand::{BlockAddr, Chip, ChipConfig, ChipFamily};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_erase_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erase_scheme_decision_overhead");
+    group.sample_size(20);
+    let family = ChipFamily::small_test();
+    let block = BlockAddr::new(0, 0);
+    // A pre-aged chip cloned for every measurement batch, so wear never
+    // accumulates across Criterion iterations.
+    let mut template = Chip::new(ChipConfig::new(family.clone()).with_seed(1));
+    template.precondition_block(block, 2_500).unwrap();
+    for kind in SchemeKind::all() {
+        group.bench_function(kind.label(), |b| {
+            let mut controller = EraseController::new(kind.build(&family));
+            b.iter_batched(
+                || template.clone(),
+                |mut chip| {
+                    controller
+                        .erase(&mut chip, block, BlockId(0))
+                        .expect("pre-aged block is erasable");
+                    chip
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_erase_schemes);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmark: simulator throughput replaying a short workload under
+//! Baseline and AERO (requests simulated per wall-clock second).
+
+use aero_core::SchemeKind;
+use aero_ssd::{Ssd, SsdConfig};
+use aero_workloads::SyntheticWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ssd_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssd_trace_replay_1000_requests");
+    group.sample_size(10);
+    let trace = SyntheticWorkload::default_test().generate(1_000, 3);
+    for scheme in [SchemeKind::Baseline, SchemeKind::Aero] {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                let mut ssd = Ssd::new(SsdConfig::small_test(scheme));
+                ssd.fill_fraction(0.6);
+                ssd.run_trace(&trace)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssd_replay);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4 (minimum erase latency distribution vs P/E cycles).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig04 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::fig04(scale));
+}

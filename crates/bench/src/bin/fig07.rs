@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 (fail-bit count vs accumulated erase-pulse time).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig07 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::fig07(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 8 (FELP prediction accuracy).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig08 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::fig08(scale));
+}

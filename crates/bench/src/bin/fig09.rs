@@ -1,0 +1,8 @@
+//! Regenerates Figure 9 (shallow-erasure fail-bit distribution).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig09 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::fig09(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 10 (reliability margin after complete vs insufficient erasure).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig10 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::fig10(scale));
+}

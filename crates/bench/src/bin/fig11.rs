@@ -1,0 +1,8 @@
+//! Regenerates Figure 11 (erase characteristics of other chip types).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig11 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::fig11(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 13 (average M_RBER vs P/E cycles for the five erase schemes).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig13 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::fig13(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 14 (normalized read tail latency per workload, scheme, and wear level).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig14 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::system::fig14(scale));
+}

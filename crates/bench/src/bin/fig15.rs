@@ -1,0 +1,8 @@
+//! Regenerates Figure 15 (impact of erase suspension on read tail latency).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig15 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::system::fig15(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 16 (sensitivity to the misprediction rate).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig16 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::system::fig16(scale));
+}

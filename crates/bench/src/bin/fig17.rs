@@ -1,0 +1,8 @@
+//! Regenerates Figure 17 (sensitivity to the RBER requirement).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin fig17 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::system::fig17(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1 (the mtEP(N_ISPE) model).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin table1 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::table1(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2 (simulated SSD configuration).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin table2 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::table2(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3 (evaluated workload characteristics).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin table3 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::figures::table3(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4 (average I/O performance normalized to Baseline).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin table4 [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::system::table4(scale));
+}

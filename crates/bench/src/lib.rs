@@ -1,0 +1,21 @@
+//! # aero-bench — the experiment harness
+//!
+//! One entry point per table and figure of the paper's evaluation. Each
+//! `figNN`/`tableN` binary in `src/bin/` is a thin wrapper around a function
+//! in [`figures`] (device-level characterization studies) or [`system`]
+//! (SSD-level trace-replay studies) that runs the experiment and prints the
+//! regenerated series as an aligned text table.
+//!
+//! Every harness accepts a [`Scale`]: `Quick` runs a reduced population /
+//! request count suited to laptops and CI, `Full` runs the paper-sized
+//! configuration (160 × 120 blocks, full workload sweeps). Pass `full` as the
+//! first CLI argument of any binary to select the full scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scale;
+pub mod system;
+
+pub use scale::Scale;

@@ -1,0 +1,70 @@
+//! Experiment scale selection.
+
+use std::env;
+
+/// How large an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced populations and request counts; finishes in seconds.
+    Quick,
+    /// Paper-sized populations and workload sweeps; may take many minutes.
+    Full,
+}
+
+impl Scale {
+    /// Parses the scale from the process arguments (`full` selects
+    /// [`Scale::Full`], anything else — including nothing — selects
+    /// [`Scale::Quick`]).
+    pub fn from_args() -> Self {
+        if env::args().any(|a| a.eq_ignore_ascii_case("full")) {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Population size (chips, blocks per chip) for characterization studies.
+    pub fn population(&self) -> (u32, u32) {
+        match self {
+            Scale::Quick => (20, 40),
+            Scale::Full => (160, 120),
+        }
+    }
+
+    /// Number of blocks cycled per scheme in the lifetime study (Figure 13).
+    pub fn lifetime_blocks(&self) -> u32 {
+        match self {
+            Scale::Quick => 12,
+            Scale::Full => 120,
+        }
+    }
+
+    /// Number of requests replayed per workload in the SSD studies.
+    pub fn requests_per_workload(&self) -> usize {
+        match self {
+            Scale::Quick => 4_000,
+            Scale::Full => 60_000,
+        }
+    }
+
+    /// Chooses between the quick and full value of any parameter.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        assert!(Scale::Quick.population().0 < Scale::Full.population().0);
+        assert!(Scale::Quick.requests_per_workload() < Scale::Full.requests_per_workload());
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,395 @@
+//! SSD-level experiments: Table 4 and Figures 14–17.
+//!
+//! Every experiment replays workloads from the Table 3 catalog on the
+//! simulated SSD under each erase scheme, at several pre-aged wear levels, and
+//! reports latencies normalized to the conventional ISPE baseline — exactly
+//! the quantities the paper's system-level plots show.
+
+use std::collections::BTreeMap;
+
+use aero_characterize::report::{fmt, TextTable};
+use aero_core::config::SchemeKind;
+use aero_ssd::{RunReport, Ssd, SsdConfig};
+use aero_workloads::catalog::WorkloadId;
+
+use crate::scale::Scale;
+
+/// Parameters of one SSD measurement run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunParams {
+    /// Erase scheme.
+    pub scheme: SchemeKind,
+    /// Workload to replay.
+    pub workload: WorkloadId,
+    /// Pre-aged P/E-cycle count of every block.
+    pub pec: u32,
+    /// Whether erase suspension is enabled.
+    pub erase_suspension: bool,
+    /// AERO misprediction rate (Figure 16).
+    pub misprediction_rate: f64,
+    /// RBER requirement (Figure 17).
+    pub rber_requirement: u32,
+    /// Number of requests to replay.
+    pub requests: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RunParams {
+    /// Default parameters for a scheme/workload/PEC triple at a given scale.
+    pub fn new(scheme: SchemeKind, workload: WorkloadId, pec: u32, scale: Scale) -> Self {
+        RunParams {
+            scheme,
+            workload,
+            pec,
+            erase_suspension: true,
+            misprediction_rate: 0.0,
+            rber_requirement: 63,
+            requests: scale.requests_per_workload(),
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// Runs one SSD measurement.
+pub fn run_ssd(params: &RunParams, scale: Scale) -> RunReport {
+    let config = match scale {
+        Scale::Quick => SsdConfig::small_test(params.scheme),
+        Scale::Full => SsdConfig::scaled_paper(params.scheme),
+    }
+    .with_erase_suspension(params.erase_suspension)
+    .with_misprediction_rate(params.misprediction_rate)
+    .with_rber_requirement(params.rber_requirement)
+    .with_seed(params.seed);
+    let logical_bytes = config.logical_capacity_bytes();
+    let mut ssd = Ssd::new(config);
+    ssd.precondition_wear(params.pec);
+    ssd.fill_fraction(0.7);
+    // Scale the workload footprint to the (possibly tiny) simulated drive so
+    // that garbage collection is actually exercised.
+    let mut synth = params.workload.spec().synthetic();
+    synth.footprint_bytes = (logical_bytes as f64 * 0.6) as u64;
+    synth.footprint_bytes = synth.footprint_bytes.max(1 << 20);
+    // Keep the drive busy enough that erases collide with reads even on the
+    // scaled-down configuration: compress arrival times on the quick scale.
+    if scale == Scale::Quick {
+        synth.mean_inter_arrival_ns = synth.mean_inter_arrival_ns.min(200_000.0);
+    }
+    let trace = synth.generate(params.requests, params.seed);
+    ssd.run_trace(&trace)
+}
+
+/// Normalized read-tail-latency results for one (workload, PEC) cell of
+/// Figure 14 / Table 4.
+#[derive(Debug, Clone)]
+pub struct SchemeComparison {
+    /// Workload.
+    pub workload: WorkloadId,
+    /// Pre-aged PEC.
+    pub pec: u32,
+    /// Per-scheme reports.
+    pub reports: BTreeMap<&'static str, RunReport>,
+}
+
+impl SchemeComparison {
+    /// Runs the five schemes on one workload/PEC cell.
+    pub fn run(workload: WorkloadId, pec: u32, scale: Scale, schemes: &[SchemeKind]) -> Self {
+        let mut reports = BTreeMap::new();
+        for &scheme in schemes {
+            let params = RunParams::new(scheme, workload, pec, scale);
+            reports.insert(scheme.label(), run_ssd(&params, scale));
+        }
+        SchemeComparison {
+            workload,
+            pec,
+            reports,
+        }
+    }
+
+    /// Read tail latency of a scheme at a percentile, normalized to Baseline.
+    pub fn normalized_read_tail(&self, scheme: &str, percentile: f64) -> f64 {
+        let mut base = self.reports["Baseline"].read_latency.clone();
+        let mut s = self.reports[scheme].read_latency.clone();
+        let b = base.percentile(percentile).max(1);
+        s.percentile(percentile) as f64 / b as f64
+    }
+
+    /// Mean latency / IOPS of a scheme normalized to Baseline:
+    /// (read latency, write latency, IOPS).
+    pub fn normalized_averages(&self, scheme: &str) -> (f64, f64, f64) {
+        let base = &self.reports["Baseline"];
+        let s = &self.reports[scheme];
+        (
+            s.read_latency.mean() / base.read_latency.mean().max(1.0),
+            s.write_latency.mean() / base.write_latency.mean().max(1.0),
+            s.iops() / base.iops().max(1e-9),
+        )
+    }
+}
+
+fn workloads_for(scale: Scale) -> Vec<WorkloadId> {
+    match scale {
+        Scale::Quick => vec![
+            WorkloadId::AliA,
+            WorkloadId::AliC,
+            WorkloadId::AliE,
+            WorkloadId::Rsrch,
+            WorkloadId::Prxy,
+            WorkloadId::Usr,
+        ],
+        Scale::Full => WorkloadId::all().to_vec(),
+    }
+}
+
+/// Figure 14: 99.99th and 99.9999th percentile read latency per workload and
+/// PEC, normalized to Baseline.
+pub fn fig14(scale: Scale) -> String {
+    let schemes = SchemeKind::all();
+    let mut out = String::from(
+        "Figure 14 — normalized read tail latency (99.99th / 99.9999th percentile)\n",
+    );
+    for pec in [500, 2_500, 4_500] {
+        out.push_str(&format!("\nPEC = {pec}\n"));
+        let mut table = TextTable::new(vec![
+            "workload", "i-ISPE", "DPES", "AERO_CONS", "AERO",
+        ]);
+        let mut geo: BTreeMap<&str, (f64, u32)> = BTreeMap::new();
+        for workload in workloads_for(scale) {
+            let cmp = SchemeComparison::run(workload, pec, scale, &schemes);
+            let cell = |s: &str| {
+                let p4 = cmp.normalized_read_tail(s, 99.99);
+                let p6 = cmp.normalized_read_tail(s, 99.9999);
+                format!("{} / {}", fmt(p4, 2), fmt(p6, 2))
+            };
+            for s in ["i-ISPE", "DPES", "AERO_CONS", "AERO"] {
+                let v = cmp.normalized_read_tail(s, 99.9999).max(1e-6);
+                let e = geo.entry(s).or_insert((0.0, 0));
+                e.0 += v.ln();
+                e.1 += 1;
+            }
+            table.row(vec![
+                cmp.workload.label().to_string(),
+                cell("i-ISPE"),
+                cell("DPES"),
+                cell("AERO_CONS"),
+                cell("AERO"),
+            ]);
+        }
+        let gm = |s: &str| {
+            let (sum, n) = geo[s];
+            fmt((sum / n as f64).exp(), 2)
+        };
+        table.row(vec![
+            "G.M. (99.9999th)".to_string(),
+            gm("i-ISPE"),
+            gm("DPES"),
+            gm("AERO_CONS"),
+            gm("AERO"),
+        ]);
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Table 4: average read/write latency and IOPS normalized to Baseline.
+pub fn table4(scale: Scale) -> String {
+    let schemes = SchemeKind::all();
+    let mut out = String::from("Table 4 — average I/O performance normalized to Baseline [%]\n");
+    for pec in [500, 2_500, 4_500] {
+        out.push_str(&format!("\nPEC = {pec}\n"));
+        let mut table = TextTable::new(vec!["scheme", "avg read lat", "avg write lat", "IOPS"]);
+        let mut sums: BTreeMap<&str, (f64, f64, f64, u32)> = BTreeMap::new();
+        for workload in workloads_for(scale) {
+            let cmp = SchemeComparison::run(workload, pec, scale, &schemes);
+            for scheme in ["i-ISPE", "DPES", "AERO_CONS", "AERO"] {
+                let (r, w, i) = cmp.normalized_averages(scheme);
+                let e = sums.entry(scheme).or_insert((0.0, 0.0, 0.0, 0));
+                e.0 += r.ln();
+                e.1 += w.ln();
+                e.2 += i.ln();
+                e.3 += 1;
+            }
+        }
+        for scheme in ["i-ISPE", "DPES", "AERO_CONS", "AERO"] {
+            let (r, w, i, n) = sums[scheme];
+            let n = n as f64;
+            table.row(vec![
+                scheme.to_string(),
+                fmt((r / n).exp() * 100.0, 1),
+                fmt((w / n).exp() * 100.0, 1),
+                fmt((i / n).exp() * 100.0, 1),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Figure 15: impact of erase suspension on read tail latency.
+pub fn fig15(scale: Scale) -> String {
+    let mut out = String::from(
+        "Figure 15 — read tail latency with and without erase suspension (normalized to Baseline w/o suspension)\n",
+    );
+    let workloads = workloads_for(scale);
+    let schemes = [SchemeKind::Baseline, SchemeKind::AeroCons, SchemeKind::Aero];
+    for pec in [500, 2_500, 4_500] {
+        out.push_str(&format!("\nPEC = {pec}\n"));
+        let mut table = TextTable::new(vec![
+            "scheme", "suspension", "99.9th", "99.99th", "99.9999th",
+        ]);
+        // Baseline without suspension defines the normalization.
+        let mut norm: BTreeMap<u32, f64> = BTreeMap::new();
+        for &suspension in &[false, true] {
+            for &scheme in &schemes {
+                let mut sums = [0.0f64; 3];
+                let mut count = 0u32;
+                for &workload in &workloads {
+                    let mut params = RunParams::new(scheme, workload, pec, scale);
+                    params.erase_suspension = suspension;
+                    let mut report = run_ssd(&params, scale);
+                    let (p3, p4, p6) = report.read_latency.tail_percentiles();
+                    sums[0] += (p3.max(1)) as f64;
+                    sums[1] += (p4.max(1)) as f64;
+                    sums[2] += (p6.max(1)) as f64;
+                    count += 1;
+                }
+                let avg: Vec<f64> = sums.iter().map(|s| s / count as f64).collect();
+                if scheme == SchemeKind::Baseline && !suspension {
+                    for (i, v) in avg.iter().enumerate() {
+                        norm.insert(i as u32, *v);
+                    }
+                }
+                table.row(vec![
+                    scheme.label().to_string(),
+                    if suspension { "on" } else { "off" }.to_string(),
+                    fmt(avg[0] / norm.get(&0).copied().unwrap_or(avg[0]), 2),
+                    fmt(avg[1] / norm.get(&1).copied().unwrap_or(avg[1]), 2),
+                    fmt(avg[2] / norm.get(&2).copied().unwrap_or(avg[2]), 2),
+                ]);
+            }
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Figure 16: sensitivity of AERO's benefits to the misprediction rate.
+pub fn fig16(scale: Scale) -> String {
+    let mut out = String::from(
+        "Figure 16 — impact of the misprediction rate on AERO's read tail latency (normalized to Baseline)\n",
+    );
+    let workloads = workloads_for(scale);
+    for pec in [500, 2_500, 4_500] {
+        out.push_str(&format!("\nPEC = {pec}\n"));
+        let mut table = TextTable::new(vec!["misprediction rate", "AERO_CONS 99.9999th", "AERO 99.9999th"]);
+        for rate in [0.0, 0.01, 0.05, 0.10, 0.20] {
+            let mut cells = Vec::new();
+            for scheme in [SchemeKind::AeroCons, SchemeKind::Aero] {
+                let mut ratio_sum = 0.0;
+                let mut count = 0u32;
+                for &workload in &workloads {
+                    let mut params = RunParams::new(scheme, workload, pec, scale);
+                    params.misprediction_rate = rate;
+                    let mut report = run_ssd(&params, scale);
+                    let base_params = RunParams::new(SchemeKind::Baseline, workload, pec, scale);
+                    let mut base = run_ssd(&base_params, scale);
+                    ratio_sum += report.read_latency.percentile(99.9999).max(1) as f64
+                        / base.read_latency.percentile(99.9999).max(1) as f64;
+                    count += 1;
+                }
+                cells.push(fmt(ratio_sum / count as f64, 2));
+            }
+            table.row(vec![format!("{:.0}%", rate * 100.0), cells[0].clone(), cells[1].clone()]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Figure 17: sensitivity of AERO's benefits to the RBER requirement.
+pub fn fig17(scale: Scale) -> String {
+    let mut out = String::from(
+        "Figure 17 — impact of the RBER requirement on AERO (lifetime and read tail latency)\n",
+    );
+    // Lifetime part: rerun the Figure 13 study with weaker requirements.
+    let mut table = TextTable::new(vec![
+        "requirement [bits/KiB]", "Baseline life", "AERO_CONS life", "AERO life", "AERO vs CONS",
+    ]);
+    for requirement in [40.0, 50.0, 63.0] {
+        let config = aero_characterize::lifetime_study::LifetimeStudyConfig {
+            blocks_per_scheme: scale.lifetime_blocks().min(16),
+            max_pec: scale.pick(6_500, 8_000),
+            sample_every: 500,
+            requirement,
+            ..aero_characterize::lifetime_study::LifetimeStudyConfig::paper_default()
+        };
+        let base = aero_characterize::lifetime_study::run_scheme(&config, SchemeKind::Baseline);
+        let cons = aero_characterize::lifetime_study::run_scheme(&config, SchemeKind::AeroCons);
+        let aero = aero_characterize::lifetime_study::run_scheme(&config, SchemeKind::Aero);
+        let life = |s: &aero_characterize::lifetime_study::SchemeLifetime| {
+            s.lifetime_pec.unwrap_or(config.max_pec)
+        };
+        table.row(vec![
+            format!("{requirement:.0}"),
+            life(&base).to_string(),
+            life(&cons).to_string(),
+            life(&aero).to_string(),
+            fmt(life(&aero) as f64 / life(&cons) as f64, 2),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    // Tail-latency part at 2.5K PEC across requirements.
+    let mut latency_table = TextTable::new(vec![
+        "requirement [bits/KiB]", "AERO 99.99th (norm.)", "AERO 99.9999th (norm.)",
+    ]);
+    let workloads = workloads_for(scale);
+    for requirement in [40u32, 50, 63] {
+        let mut p4 = 0.0;
+        let mut p6 = 0.0;
+        let mut count = 0u32;
+        for &workload in &workloads {
+            let mut params = RunParams::new(SchemeKind::Aero, workload, 2_500, scale);
+            params.rber_requirement = requirement;
+            let mut report = run_ssd(&params, scale);
+            let base_params = RunParams::new(SchemeKind::Baseline, workload, 2_500, scale);
+            let mut base = run_ssd(&base_params, scale);
+            p4 += report.read_latency.percentile(99.99).max(1) as f64
+                / base.read_latency.percentile(99.99).max(1) as f64;
+            p6 += report.read_latency.percentile(99.9999).max(1) as f64
+                / base.read_latency.percentile(99.9999).max(1) as f64;
+            count += 1;
+        }
+        latency_table.row(vec![
+            requirement.to_string(),
+            fmt(p4 / count as f64, 2),
+            fmt(p6 / count as f64, 2),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&latency_table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_comparison_runs() {
+        let cmp = SchemeComparison::run(
+            WorkloadId::AliA,
+            500,
+            Scale::Quick,
+            &[SchemeKind::Baseline, SchemeKind::Aero],
+        );
+        assert!(cmp.reports.contains_key("Baseline"));
+        assert!(cmp.reports.contains_key("AERO"));
+        let norm = cmp.normalized_read_tail("AERO", 99.9);
+        assert!(norm > 0.0 && norm < 2.0, "normalized tail {norm}");
+        let (r, w, i) = cmp.normalized_averages("AERO");
+        assert!(r > 0.5 && r < 1.5);
+        assert!(w > 0.5 && w < 1.5);
+        assert!(i > 0.5 && i < 1.5);
+    }
+}

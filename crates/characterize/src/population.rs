@@ -1,0 +1,214 @@
+//! Synthetic chip populations.
+//!
+//! The paper evenly selects 120 blocks from each of its 160 chips (19,200
+//! blocks in total). A [`Population`] reproduces that sampling: a set of
+//! [`BlockSample`]s, each carrying the intrinsic process-variation
+//! characteristics of one block, from which the studies can derive required
+//! erase doses, fail-bit traces, and RBER values at any P/E-cycle count
+//! without simulating every intervening cycle.
+
+use aero_nand::chip_family::ChipFamily;
+use aero_nand::erase::characteristics::{baseline_equivalent_wear, ispe_decomposition, EraseCharacteristics, MinimumEraseLatency};
+use aero_nand::reliability::rber::{RberModel, RberSample};
+use aero_nand::reliability::retention::RetentionSpec;
+use aero_nand::wear::WearState;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a synthetic population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Chip family to sample from.
+    pub family: ChipFamily,
+    /// Number of chips.
+    pub chips: u32,
+    /// Number of blocks sampled per chip.
+    pub blocks_per_chip: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PopulationConfig {
+    /// The paper's main population: 160 3D TLC chips × 120 blocks.
+    pub fn paper_tlc_3d() -> Self {
+        PopulationConfig {
+            family: ChipFamily::tlc_3d_48l(),
+            chips: 160,
+            blocks_per_chip: 120,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A reduced population for fast tests.
+    pub fn small(family: ChipFamily) -> Self {
+        PopulationConfig {
+            family,
+            chips: 8,
+            blocks_per_chip: 30,
+            seed: 7,
+        }
+    }
+}
+
+/// One sampled block of the population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSample {
+    /// Index of the chip the block belongs to.
+    pub chip: u32,
+    /// Index of the block within the chip's sampled set.
+    pub block: u32,
+    /// The block's intrinsic erase characteristics.
+    pub characteristics: EraseCharacteristics,
+}
+
+impl BlockSample {
+    /// Wear state equivalent to `pec` P/E cycles of conventional ISPE cycling
+    /// (the preconditioning the paper applies before each measurement).
+    pub fn wear_at(&self, family: &ChipFamily, pec: u32) -> WearState {
+        baseline_equivalent_wear(family, pec)
+    }
+
+    /// The block's mean required erase dose at a P/E-cycle count
+    /// (conventionally cycled).
+    pub fn mean_dose_at(&self, family: &ChipFamily, pec: u32) -> f64 {
+        let wear = self.wear_at(family, pec);
+        self.characteristics.mean_required_dose(family, &wear)
+    }
+
+    /// Draws the required dose of one erase operation at the given PEC
+    /// (conventionally cycled).
+    pub fn sample_dose_at(&self, family: &ChipFamily, pec: u32, rng: &mut ChaCha12Rng) -> f64 {
+        let wear = self.wear_at(family, pec);
+        self.characteristics.sample_required_dose(family, &wear, rng)
+    }
+
+    /// The block's minimum erase latency decomposition at a P/E-cycle count.
+    pub fn minimum_erase_latency(&self, family: &ChipFamily, pec: u32) -> MinimumEraseLatency {
+        ispe_decomposition(family, self.mean_dose_at(family, pec))
+    }
+
+    /// Maximum RBER of the block at a P/E-cycle count under the reference
+    /// retention condition, when it was `residual_units` short of complete
+    /// erasure before programming.
+    pub fn m_rber_at(
+        &self,
+        family: &ChipFamily,
+        pec: u32,
+        residual_units: f64,
+        retention: RetentionSpec,
+    ) -> f64 {
+        let model = RberModel::new(family);
+        model.m_rber(&RberSample {
+            wear: self.wear_at(family, pec),
+            residual_units,
+            retention,
+            pattern: aero_nand::cell::DataPattern::Randomized,
+            block_offset: self.characteristics.reliability_offset,
+        })
+    }
+}
+
+/// A population of sampled blocks from many chips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    config: PopulationConfig,
+    blocks: Vec<BlockSample>,
+}
+
+impl Population {
+    /// Samples a population from its configuration.
+    pub fn generate(config: PopulationConfig) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+        let mut blocks = Vec::with_capacity((config.chips * config.blocks_per_chip) as usize);
+        for chip in 0..config.chips {
+            for block in 0..config.blocks_per_chip {
+                blocks.push(BlockSample {
+                    chip,
+                    block,
+                    characteristics: EraseCharacteristics::sample(&config.family, &mut rng),
+                });
+            }
+        }
+        Population { config, blocks }
+    }
+
+    /// The paper's main population (160 × 120 blocks of 3D TLC).
+    pub fn paper_tlc_3d() -> Self {
+        Population::generate(PopulationConfig::paper_tlc_3d())
+    }
+
+    /// The population's configuration.
+    pub fn config(&self) -> &PopulationConfig {
+        &self.config
+    }
+
+    /// The chip family of the population.
+    pub fn family(&self) -> &ChipFamily {
+        &self.config.family
+    }
+
+    /// The sampled blocks.
+    pub fn blocks(&self) -> &[BlockSample] {
+        &self.blocks
+    }
+
+    /// Number of sampled blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// A deterministic RNG derived from the population seed, for studies that
+    /// need operation-level sampling.
+    pub fn rng(&self) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(self.config.seed ^ 0x5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_population_has_19200_blocks() {
+        let cfg = PopulationConfig::paper_tlc_3d();
+        assert_eq!(cfg.chips * cfg.blocks_per_chip, 19_200);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Population::generate(PopulationConfig::small(ChipFamily::tlc_3d_48l()));
+        let b = Population::generate(PopulationConfig::small(ChipFamily::tlc_3d_48l()));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8 * 30);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn wear_and_dose_grow_with_pec() {
+        let pop = Population::generate(PopulationConfig::small(ChipFamily::tlc_3d_48l()));
+        let family = pop.family();
+        let b = &pop.blocks()[0];
+        assert!(b.mean_dose_at(family, 3_000) > b.mean_dose_at(family, 0));
+        let w0 = b.wear_at(family, 0);
+        let w3 = b.wear_at(family, 3_000);
+        assert_eq!(w0.erase_stress, 0.0);
+        assert!(w3.erase_stress > 0.0);
+        assert!(b.m_rber_at(family, 3_000, 0.0, RetentionSpec::one_year_30c())
+            > b.m_rber_at(family, 0, 0.0, RetentionSpec::one_year_30c()));
+    }
+
+    #[test]
+    fn minimum_latency_single_loop_when_fresh() {
+        let pop = Population::generate(PopulationConfig::small(ChipFamily::tlc_3d_48l()));
+        let family = pop.family();
+        for b in pop.blocks() {
+            assert_eq!(b.minimum_erase_latency(family, 0).n_ispe, 1);
+        }
+    }
+}

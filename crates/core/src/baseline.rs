@@ -1,0 +1,87 @@
+//! The conventional ISPE scheme (the paper's `Baseline`).
+//!
+//! Every erase loop uses the fixed worst-case pulse latency set by the
+//! manufacturer; loops repeat with progressively higher erase voltage until
+//! the verify-read step passes. This is what essentially all shipping SSDs do
+//! today and is the reference every other scheme is normalized against.
+
+use aero_nand::erase::ispe::EraseLoopOutcome;
+use aero_nand::timing::Micros;
+
+use crate::scheme::{BlockContext, EraseAction, EraseScheme};
+
+/// The conventional ISPE erase scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineIspe {
+    default_pulse: Micros,
+}
+
+impl BaselineIspe {
+    /// Creates the scheme with the chip's default pulse latency.
+    pub fn new(default_pulse: Micros) -> Self {
+        BaselineIspe { default_pulse }
+    }
+
+    /// Creates the scheme with the paper's 3.5 ms default pulse.
+    pub fn paper_default() -> Self {
+        BaselineIspe::new(Micros::from_millis_f64(3.5))
+    }
+}
+
+impl Default for BaselineIspe {
+    fn default() -> Self {
+        BaselineIspe::paper_default()
+    }
+}
+
+impl EraseScheme for BaselineIspe {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn next_action(&mut self, _ctx: &BlockContext, history: &[EraseLoopOutcome]) -> EraseAction {
+        match history.last() {
+            Some(last) if last.passed => EraseAction::finish(),
+            _ => EraseAction::pulse(self.default_pulse),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::BlockId;
+
+    fn outcome(passed: bool) -> EraseLoopOutcome {
+        EraseLoopOutcome {
+            loop_index: 1,
+            pulse: Micros::from_millis_f64(3.5),
+            latency: Micros::from_millis_f64(3.6),
+            fail_bits: if passed { 10 } else { 20_000 },
+            passed,
+        }
+    }
+
+    #[test]
+    fn always_uses_default_pulse_until_pass() {
+        let mut s = BaselineIspe::paper_default();
+        let ctx = BlockContext::new(BlockId(0), 1_000);
+        assert_eq!(
+            s.next_action(&ctx, &[]),
+            EraseAction::pulse(Micros::from_millis_f64(3.5))
+        );
+        assert_eq!(
+            s.next_action(&ctx, &[outcome(false)]),
+            EraseAction::pulse(Micros::from_millis_f64(3.5))
+        );
+        assert_eq!(s.next_action(&ctx, &[outcome(true)]), EraseAction::finish());
+    }
+
+    #[test]
+    fn no_scaling_of_program_or_voltage() {
+        let s = BaselineIspe::paper_default();
+        assert_eq!(s.program_latency_scale(2_500), 1.0);
+        assert_eq!(s.erase_voltage_scale(2_500), 1.0);
+        assert_eq!(s.name(), "Baseline");
+    }
+}

@@ -1,0 +1,17 @@
+//! Erase-path physics: per-block erase characteristics, fail-bit dynamics, and
+//! the ISPE (Incremental Step Pulse Erasure) engine.
+//!
+//! The module is split into three layers:
+//!
+//! * [`characteristics`] — how much "erase dose" a block needs and how that
+//!   evolves with wear and process variation (the ground truth the chip knows
+//!   but the FTL cannot observe directly);
+//! * [`failbits`] — the observable proxy: how the fail-bit count reported by a
+//!   verify-read step relates to the remaining dose;
+//! * [`ispe`] — the erase state machine executing erase-pulse / verify-read
+//!   loops with per-loop tunable pulse latency, exactly the interface AERO
+//!   drives through SET/GET FEATURE commands.
+
+pub mod characteristics;
+pub mod failbits;
+pub mod ispe;

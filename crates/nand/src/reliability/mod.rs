@@ -1,0 +1,15 @@
+//! Reliability modelling: raw bit-error rate (RBER), ECC, and retention.
+//!
+//! * [`rber`] — the per-block maximum RBER (`M_RBER`) model, in raw bit
+//!   errors per 1 KiB codeword, as a function of wear (accumulated erase and
+//!   program stress), retention time, and residual fail bits from
+//!   insufficient erasure;
+//! * [`ecc`] — the ECC capability / RBER-requirement model (72-bit capability,
+//!   63-bit requirement per 1 KiB in the paper) and decode outcomes;
+//! * [`retention`] — retention specifications and the Arrhenius-style
+//!   accelerated-bake equivalence used by the JEDEC methodology the paper
+//!   follows.
+
+pub mod ecc;
+pub mod rber;
+pub mod retention;

@@ -1,0 +1,348 @@
+//! Page-level FTL data structures: logical-to-physical mapping, per-block
+//! validity tracking, free-block management, and greedy garbage-collection
+//! victim selection.
+//!
+//! The mapping granularity is the NAND page (16 KiB in the paper's
+//! configuration). The write path is log-structured: every die has one open
+//! "frontier" block that user and GC writes fill sequentially; when it fills
+//! up a new free block is opened. Greedy GC picks the block with the fewest
+//! valid pages.
+
+use serde::{Deserialize, Serialize};
+
+/// A physical page address in drive-global coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ppa {
+    /// Die index within the drive.
+    pub die: u32,
+    /// Block index within the die (dense, across planes).
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+/// Lifecycle state of a physical block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BlockState {
+    /// Erased and available for allocation.
+    #[default]
+    Free,
+    /// Currently being filled by the write frontier.
+    Open,
+    /// Fully written.
+    Full,
+    /// Selected as a GC victim; its valid pages are being migrated.
+    Collecting,
+    /// Erase in flight.
+    Erasing,
+}
+
+/// Per-block FTL bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Lifecycle state.
+    pub state: BlockState,
+    /// Number of pages written since the last erase.
+    pub written_pages: u32,
+    /// Validity bitmap, one bit per page.
+    valid: Vec<u64>,
+    /// Number of valid pages.
+    pub valid_pages: u32,
+}
+
+impl BlockInfo {
+    /// Creates bookkeeping for a block with `pages` pages.
+    pub fn new(pages: u32) -> Self {
+        BlockInfo {
+            state: BlockState::Free,
+            written_pages: 0,
+            valid: vec![0; (pages as usize).div_ceil(64)],
+            valid_pages: 0,
+        }
+    }
+
+    /// Marks a page as holding valid data.
+    pub fn mark_valid(&mut self, page: u32) {
+        let word = &mut self.valid[page as usize / 64];
+        let mask = 1u64 << (page % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.valid_pages += 1;
+        }
+    }
+
+    /// Marks a page as invalid (its logical page was overwritten or trimmed).
+    pub fn mark_invalid(&mut self, page: u32) {
+        let word = &mut self.valid[page as usize / 64];
+        let mask = 1u64 << (page % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.valid_pages -= 1;
+        }
+    }
+
+    /// True if the page currently holds valid data.
+    pub fn is_valid(&self, page: u32) -> bool {
+        self.valid[page as usize / 64] >> (page % 64) & 1 == 1
+    }
+
+    /// Iterator over the indices of currently valid pages.
+    pub fn valid_page_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.valid.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word >> b & 1 == 1)
+                .map(move |b| (w * 64 + b) as u32)
+        })
+    }
+
+    /// Resets the block after an erase.
+    pub fn reset_after_erase(&mut self) {
+        self.state = BlockState::Free;
+        self.written_pages = 0;
+        self.valid.iter_mut().for_each(|w| *w = 0);
+        self.valid_pages = 0;
+    }
+}
+
+/// FTL state of one die: block bookkeeping, free list, and the open frontier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DieFtl {
+    blocks: Vec<BlockInfo>,
+    free_blocks: Vec<u32>,
+    frontier: Option<u32>,
+    pages_per_block: u32,
+}
+
+impl DieFtl {
+    /// Creates the FTL state for a die with `blocks` blocks of
+    /// `pages_per_block` pages.
+    pub fn new(blocks: u32, pages_per_block: u32) -> Self {
+        DieFtl {
+            blocks: (0..blocks).map(|_| BlockInfo::new(pages_per_block)).collect(),
+            free_blocks: (0..blocks).rev().collect(),
+            frontier: None,
+            pages_per_block,
+        }
+    }
+
+    /// Number of blocks on the die.
+    pub fn block_count(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    /// Number of free (erased, unallocated) blocks.
+    pub fn free_block_count(&self) -> u32 {
+        self.free_blocks.len() as u32
+    }
+
+    /// Shared access to a block's bookkeeping.
+    pub fn block(&self, block: u32) -> &BlockInfo {
+        &self.blocks[block as usize]
+    }
+
+    /// Mutable access to a block's bookkeeping.
+    pub fn block_mut(&mut self, block: u32) -> &mut BlockInfo {
+        &mut self.blocks[block as usize]
+    }
+
+    /// Allocates the next page slot on the die's write frontier, opening a new
+    /// free block if necessary. Returns `None` when the die has no frontier
+    /// and no free block (write stall — GC must free space first).
+    pub fn allocate_page(&mut self) -> Option<(u32, u32, bool)> {
+        if self.frontier.is_none() {
+            let block = self.free_blocks.pop()?;
+            self.blocks[block as usize].state = BlockState::Open;
+            self.frontier = Some(block);
+        }
+        let block = self.frontier.expect("frontier just ensured");
+        let info = &mut self.blocks[block as usize];
+        let page = info.written_pages;
+        info.written_pages += 1;
+        info.mark_valid(page);
+        let opened_new_block = page == 0;
+        if info.written_pages == self.pages_per_block {
+            info.state = BlockState::Full;
+            self.frontier = None;
+        }
+        Some((block, page, opened_new_block))
+    }
+
+    /// Greedy GC victim: the full block with the fewest valid pages.
+    /// The frontier and blocks already being collected or erased are not
+    /// eligible. Returns `None` if no block is eligible.
+    pub fn pick_gc_victim(&self) -> Option<u32> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state == BlockState::Full)
+            .min_by_key(|(_, b)| b.valid_pages)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Marks a block as selected for collection.
+    pub fn start_collecting(&mut self, block: u32) {
+        self.blocks[block as usize].state = BlockState::Collecting;
+    }
+
+    /// Marks a block as erasing.
+    pub fn start_erasing(&mut self, block: u32) {
+        self.blocks[block as usize].state = BlockState::Erasing;
+    }
+
+    /// Completes an erase: the block returns to the free list.
+    pub fn finish_erase(&mut self, block: u32) {
+        self.blocks[block as usize].reset_after_erase();
+        self.free_blocks.push(block);
+    }
+
+    /// Total number of valid pages on the die.
+    pub fn valid_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| b.valid_pages as u64).sum()
+    }
+}
+
+/// Drive-wide logical-to-physical page mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageMapping {
+    table: Vec<Option<Ppa>>,
+}
+
+impl PageMapping {
+    /// Creates an unmapped table for `logical_pages` logical pages.
+    pub fn new(logical_pages: u64) -> Self {
+        PageMapping {
+            table: vec![None; logical_pages as usize],
+        }
+    }
+
+    /// Number of logical pages.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Current physical location of a logical page, if mapped. Logical pages
+    /// beyond the table (host bugs, synthetic traces larger than the drive)
+    /// report `None`.
+    pub fn lookup(&self, lpn: u64) -> Option<Ppa> {
+        self.table.get(lpn as usize).copied().flatten()
+    }
+
+    /// Installs a new mapping, returning the previous location (which the
+    /// caller must invalidate).
+    pub fn update(&mut self, lpn: u64, ppa: Ppa) -> Option<Ppa> {
+        if lpn as usize >= self.table.len() {
+            return None;
+        }
+        self.table[lpn as usize].replace(ppa)
+    }
+
+    /// Fraction of logical pages currently mapped.
+    pub fn mapped_fraction(&self) -> f64 {
+        if self.table.is_empty() {
+            return 0.0;
+        }
+        self.table.iter().filter(|e| e.is_some()).count() as f64 / self.table.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_validity_tracking() {
+        let mut b = BlockInfo::new(128);
+        b.mark_valid(0);
+        b.mark_valid(70);
+        b.mark_valid(70); // idempotent
+        assert_eq!(b.valid_pages, 2);
+        assert!(b.is_valid(70));
+        assert!(!b.is_valid(1));
+        assert_eq!(b.valid_page_indices().collect::<Vec<_>>(), vec![0, 70]);
+        b.mark_invalid(0);
+        b.mark_invalid(0); // idempotent
+        assert_eq!(b.valid_pages, 1);
+        b.reset_after_erase();
+        assert_eq!(b.valid_pages, 0);
+        assert_eq!(b.state, BlockState::Free);
+    }
+
+    #[test]
+    fn allocation_fills_blocks_sequentially() {
+        let mut die = DieFtl::new(3, 4);
+        let mut allocations = Vec::new();
+        for _ in 0..12 {
+            allocations.push(die.allocate_page().unwrap());
+        }
+        // All 12 pages allocated across 3 blocks, each filled in order.
+        assert!(die.allocate_page().is_none(), "die is now full");
+        assert_eq!(die.free_block_count(), 0);
+        let pages_in_first_block: Vec<u32> = allocations
+            .iter()
+            .filter(|(b, _, _)| *b == allocations[0].0)
+            .map(|(_, p, _)| *p)
+            .collect();
+        assert_eq!(pages_in_first_block, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn gc_victim_is_block_with_fewest_valid_pages() {
+        let mut die = DieFtl::new(3, 4);
+        // Fill two blocks.
+        let mut placements = Vec::new();
+        for _ in 0..8 {
+            placements.push(die.allocate_page().unwrap());
+        }
+        let first_block = placements[0].0;
+        let second_block = placements[4].0;
+        // Invalidate three pages of the first block, one of the second.
+        for p in 0..3 {
+            die.block_mut(first_block).mark_invalid(p);
+        }
+        die.block_mut(second_block).mark_invalid(0);
+        assert_eq!(die.pick_gc_victim(), Some(first_block));
+        // Erasing it returns it to the free list.
+        die.start_collecting(first_block);
+        die.start_erasing(first_block);
+        die.finish_erase(first_block);
+        assert_eq!(die.free_block_count(), 2);
+        assert_eq!(die.block(first_block).state, BlockState::Free);
+    }
+
+    #[test]
+    fn frontier_block_not_eligible_for_gc() {
+        let mut die = DieFtl::new(2, 4);
+        // Open the frontier with a single write; the other block stays free.
+        die.allocate_page().unwrap();
+        assert_eq!(die.pick_gc_victim(), None);
+    }
+
+    #[test]
+    fn mapping_update_returns_previous_location() {
+        let mut map = PageMapping::new(10);
+        assert!(!map.is_empty());
+        assert_eq!(map.lookup(3), None);
+        let ppa1 = Ppa {
+            die: 0,
+            block: 1,
+            page: 2,
+        };
+        let ppa2 = Ppa {
+            die: 1,
+            block: 0,
+            page: 0,
+        };
+        assert_eq!(map.update(3, ppa1), None);
+        assert_eq!(map.update(3, ppa2), Some(ppa1));
+        assert_eq!(map.lookup(3), Some(ppa2));
+        assert!((map.mapped_fraction() - 0.1).abs() < 1e-12);
+        // Out-of-range lookups and updates are ignored gracefully.
+        assert_eq!(map.lookup(100), None);
+        assert_eq!(map.update(100, ppa1), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Latency recording and tail-percentile computation.
+
+use serde::{Deserialize, Serialize};
+
+/// Records per-request latencies (in nanoseconds) and computes percentiles.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_ns: u64) {
+        self.samples.push(latency_ns);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) using nearest-rank interpolation.
+    /// Returns 0 for an empty recorder.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    /// Mean latency in nanoseconds (0 for an empty recorder).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&x| x as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum latency observed (0 for an empty recorder).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The tail percentiles the paper reports: (99.9th, 99.99th, 99.9999th).
+    /// With fewer samples than a percentile resolves, the value saturates to
+    /// the maximum observed latency.
+    pub fn tail_percentiles(&mut self) -> (u64, u64, u64) {
+        (
+            self.percentile(99.9),
+            self.percentile(99.99),
+            self.percentile(99.9999),
+        )
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=1000u64 {
+            r.record(i);
+        }
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.percentile(50.0), 500);
+        assert_eq!(r.percentile(99.0), 990);
+        assert_eq!(r.percentile(100.0), 1000);
+        assert_eq!(r.max(), 1000);
+        assert!((r.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_percentiles_saturate_to_max_for_small_samples() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(i);
+        }
+        let (p999, p9999, p999999) = r.tail_percentiles();
+        assert_eq!(p999, 100);
+        assert_eq!(p9999, 100);
+        assert_eq!(p999999, 100);
+    }
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(99.0), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.max(), 0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(10);
+        let mut b = LatencyRecorder::new();
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn invalid_percentile_rejected() {
+        let mut r = LatencyRecorder::new();
+        r.record(1);
+        let _ = r.percentile(0.0);
+    }
+
+    #[test]
+    fn unsorted_inserts_still_produce_correct_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for v in [5u64, 1, 9, 3, 7] {
+            r.record(v);
+        }
+        assert_eq!(r.percentile(50.0), 5);
+        assert_eq!(r.percentile(100.0), 9);
+    }
+}

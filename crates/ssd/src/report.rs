@@ -1,0 +1,89 @@
+//! Results of a trace replay.
+
+use aero_core::stats::EraseStats;
+use serde::{Deserialize, Serialize};
+
+use crate::latency::LatencyRecorder;
+
+/// Everything measured during one trace replay on a simulated SSD.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Erase scheme used for the run.
+    pub scheme: String,
+    /// Number of read requests completed.
+    pub reads_completed: u64,
+    /// Number of write requests completed.
+    pub writes_completed: u64,
+    /// Per-request read latencies.
+    pub read_latency: LatencyRecorder,
+    /// Per-request write latencies.
+    pub write_latency: LatencyRecorder,
+    /// Simulated time at which the last request completed, in nanoseconds.
+    pub makespan_ns: u64,
+    /// Statistics over every erase operation performed during the run.
+    pub erase_stats: EraseStats,
+    /// Number of garbage-collection victim selections.
+    pub gc_invocations: u64,
+    /// Number of pages migrated by garbage collection.
+    pub gc_page_moves: u64,
+    /// Number of times an in-flight erase was suspended to let a user read
+    /// through.
+    pub erase_suspensions: u64,
+}
+
+impl RunReport {
+    /// I/O operations per second over the makespan.
+    pub fn iops(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        (self.reads_completed + self.writes_completed) as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+
+    /// Mean read latency in microseconds.
+    pub fn mean_read_latency_us(&self) -> f64 {
+        self.read_latency.mean() / 1_000.0
+    }
+
+    /// Mean write latency in microseconds.
+    pub fn mean_write_latency_us(&self) -> f64 {
+        self.write_latency.mean() / 1_000.0
+    }
+
+    /// Write amplification: physical page programs per logical page written
+    /// (1.0 means no GC traffic). Requires the caller to have tracked logical
+    /// pages written; here it is derived from GC moves.
+    pub fn write_amplification(&self, user_pages_written: u64) -> f64 {
+        if user_pages_written == 0 {
+            return 1.0;
+        }
+        (user_pages_written + self.gc_page_moves) as f64 / user_pages_written as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iops_and_write_amplification() {
+        let mut r = RunReport {
+            reads_completed: 500,
+            writes_completed: 500,
+            makespan_ns: 1_000_000_000,
+            gc_page_moves: 250,
+            ..RunReport::default()
+        };
+        r.read_latency.record(40_000);
+        assert!((r.iops() - 1_000.0).abs() < 1e-9);
+        assert!((r.write_amplification(1_000) - 1.25).abs() < 1e-12);
+        assert!((r.mean_read_latency_us() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport::default();
+        assert_eq!(r.iops(), 0.0);
+        assert_eq!(r.write_amplification(0), 1.0);
+    }
+}

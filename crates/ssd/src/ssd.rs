@@ -1,0 +1,767 @@
+//! The event-driven SSD simulator.
+//!
+//! The simulator advances a nanosecond clock through two kinds of events —
+//! request arrivals and die-idle transitions — and keeps one transaction
+//! queue per die with the priority order the paper's extended MQSim uses:
+//! user reads first, then (resuming) erases, then user writes, then
+//! garbage-collection traffic, then new erase operations. Erase operations
+//! are executed loop by loop, so enabling erase suspension lets a pending
+//! user read slip in between two erase loops instead of waiting for the whole
+//! multi-millisecond erase.
+//!
+//! Every die is a full [`aero_nand::Chip`]; every erase goes through the
+//! drive-wide [`EraseController`] and its configured scheme, so erase
+//! latencies, wear, and reliability all come from the device model rather
+//! than fixed constants.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use aero_core::controller::EraseController;
+use aero_core::scheme::{BlockId, EraseScheme};
+use aero_core::Aero;
+use aero_nand::cell::DataPattern;
+use aero_nand::chip::{Chip, ChipConfig};
+use aero_nand::geometry::{BlockAddr, PageAddr};
+use aero_nand::reliability::ecc::EccConfig;
+use aero_nand::timing::Micros;
+use aero_workloads::request::{IoOp, Trace};
+
+use crate::config::SsdConfig;
+use crate::ftl::{DieFtl, PageMapping, Ppa};
+use crate::report::RunReport;
+
+/// A queued user page transaction.
+#[derive(Debug, Clone, Copy)]
+struct PageTxn {
+    request: usize,
+    lpn: u64,
+}
+
+/// A queued garbage-collection page migration (read + rewrite within the
+/// die).
+#[derive(Debug, Clone, Copy)]
+struct GcMove {
+    victim_block: u32,
+    page: u32,
+}
+
+/// An erase whose per-loop latencies have been decided by the erase scheme
+/// and now need to be paid in simulated time.
+#[derive(Debug, Clone)]
+struct EraseJob {
+    block: u32,
+    loop_latencies: VecDeque<u64>,
+    started: bool,
+}
+
+/// Per-die simulator state.
+struct Die {
+    chip: Chip,
+    ftl: DieFtl,
+    /// Physical-page → logical-page reverse map (u64::MAX = invalid).
+    p2l: Vec<u64>,
+    busy_until: u64,
+    idle_event_pending: bool,
+    user_reads: VecDeque<PageTxn>,
+    user_writes: VecDeque<PageTxn>,
+    gc_moves: VecDeque<GcMove>,
+    erase_jobs: VecDeque<EraseJob>,
+    gc_in_progress: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Arrival(usize),
+    DieIdle(usize),
+}
+
+/// Per-request completion tracking.
+struct RequestState {
+    arrival_ns: u64,
+    op: IoOp,
+    remaining_pages: u32,
+    completed_at: u64,
+}
+
+/// The simulated SSD.
+pub struct Ssd {
+    config: SsdConfig,
+    mapping: PageMapping,
+    dies: Vec<Die>,
+    controller: EraseController<Box<dyn EraseScheme>>,
+    next_write_die: usize,
+    gc_invocations: u64,
+    gc_page_moves: u64,
+    erase_suspensions: u64,
+    user_pages_written: u64,
+}
+
+impl Ssd {
+    /// Builds a drive from a configuration: one chip model per die, empty
+    /// mapping, and the configured erase scheme behind a single drive-wide
+    /// controller.
+    pub fn new(config: SsdConfig) -> Self {
+        let geometry = config.family.geometry;
+        let blocks_per_die = geometry.total_blocks() as u32;
+        let pages_per_block = geometry.pages_per_block;
+        let dies = (0..config.dies())
+            .map(|i| Die {
+                chip: Chip::new(
+                    ChipConfig::new(config.family.clone()).with_seed(config.seed ^ (i as u64 + 1)),
+                ),
+                ftl: DieFtl::new(blocks_per_die, pages_per_block),
+                p2l: vec![u64::MAX; (blocks_per_die * pages_per_block) as usize],
+                busy_until: 0,
+                idle_event_pending: false,
+                user_reads: VecDeque::new(),
+                user_writes: VecDeque::new(),
+                gc_moves: VecDeque::new(),
+                erase_jobs: VecDeque::new(),
+                gc_in_progress: false,
+            })
+            .collect();
+        let ecc = EccConfig::paper_default().with_requirement(config.rber_requirement.min(72));
+        let mut scheme = config
+            .scheme
+            .build_with_requirement(&config.family, &ecc);
+        if config.misprediction_rate > 0.0 {
+            // Rebuild the AERO variants with misprediction injection.
+            scheme = match config.scheme {
+                aero_core::SchemeKind::Aero => Box::new(
+                    Aero::with_ept(&config.family, aero_core::Ept::paper_table1(), true)
+                        .with_misprediction_rate(config.misprediction_rate)
+                        .with_seed(config.seed),
+                ),
+                aero_core::SchemeKind::AeroCons => Box::new(
+                    Aero::with_ept(&config.family, aero_core::Ept::paper_table1(), false)
+                        .with_misprediction_rate(config.misprediction_rate)
+                        .with_seed(config.seed),
+                ),
+                _ => scheme,
+            };
+        }
+        let logical_pages = config.logical_pages();
+        Ssd {
+            config,
+            mapping: PageMapping::new(logical_pages),
+            dies,
+            controller: EraseController::new(scheme),
+            next_write_die: 0,
+            gc_invocations: 0,
+            gc_page_moves: 0,
+            erase_suspensions: 0,
+            user_pages_written: 0,
+        }
+    }
+
+    /// The drive's configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Fraction of logical pages currently mapped to flash.
+    pub fn utilization(&self) -> f64 {
+        self.mapping.mapped_fraction()
+    }
+
+    /// Pre-ages every block of every die to the given P/E-cycle count
+    /// (evaluations at PEC 0.5K / 2.5K / 4.5K).
+    pub fn precondition_wear(&mut self, pec: u32) {
+        let geometry = self.config.family.geometry;
+        for die in &mut self.dies {
+            for addr in geometry.iter_blocks() {
+                die.chip
+                    .precondition_block(addr, pec)
+                    .expect("block address from geometry iterator is valid");
+            }
+        }
+    }
+
+    /// Sequentially fills the given fraction of the logical address space
+    /// without simulating time, to precondition the drive before a
+    /// measurement run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside [0, 1].
+    pub fn fill_fraction(&mut self, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction), "fill fraction must be in [0, 1]");
+        let logical_pages = (self.mapping.len() as f64 * fraction) as u64;
+        for lpn in 0..logical_pages {
+            let die_idx = self.next_write_die;
+            self.next_write_die = (self.next_write_die + 1) % self.dies.len();
+            self.place_write(die_idx, lpn);
+        }
+    }
+
+    /// Replays a trace to completion and returns the measured report.
+    pub fn run_trace(&mut self, trace: &Trace) -> RunReport {
+        let page_bytes = self.config.family.geometry.page_size_bytes;
+        let mut requests: Vec<RequestState> = trace
+            .iter()
+            .map(|r| RequestState {
+                arrival_ns: r.arrival_ns,
+                op: r.op,
+                remaining_pages: r.page_count(page_bytes),
+                completed_at: 0,
+            })
+            .collect();
+
+        let mut events: BinaryHeap<Reverse<(u64, Event)>> = BinaryHeap::new();
+        for (i, r) in trace.iter().enumerate() {
+            events.push(Reverse((r.arrival_ns, Event::Arrival(i))));
+        }
+
+        let mut report = RunReport {
+            scheme: self.config.scheme.label().to_string(),
+            ..RunReport::default()
+        };
+        let baseline_erase_ops = self.controller.stats().operations;
+
+        while let Some(Reverse((now, event))) = events.pop() {
+            match event {
+                Event::Arrival(index) => {
+                    let request = trace.requests()[index];
+                    let pages = request.page_count(page_bytes);
+                    let first_page = request.first_page(page_bytes);
+                    for p in 0..pages {
+                        let lpn = first_page + p as u64;
+                        let die_idx = match request.op {
+                            IoOp::Read => self
+                                .mapping
+                                .lookup(lpn)
+                                .map(|ppa| ppa.die as usize)
+                                .unwrap_or((lpn as usize) % self.dies.len()),
+                            IoOp::Write => {
+                                let d = self.next_write_die;
+                                self.next_write_die = (self.next_write_die + 1) % self.dies.len();
+                                d
+                            }
+                        };
+                        let txn = PageTxn {
+                            request: index,
+                            lpn,
+                        };
+                        match request.op {
+                            IoOp::Read => self.dies[die_idx].user_reads.push_back(txn),
+                            IoOp::Write => self.dies[die_idx].user_writes.push_back(txn),
+                        }
+                        self.kick_die(die_idx, now, &mut events);
+                    }
+                }
+                Event::DieIdle(die_idx) => {
+                    self.dies[die_idx].idle_event_pending = false;
+                    self.dispatch(die_idx, now, &mut events, &mut requests, &mut report);
+                }
+            }
+        }
+
+        // Collect per-request latencies.
+        for r in &requests {
+            if r.remaining_pages == 0 {
+                let latency = r.completed_at.saturating_sub(r.arrival_ns);
+                match r.op {
+                    IoOp::Read => {
+                        report.reads_completed += 1;
+                        report.read_latency.record(latency);
+                    }
+                    IoOp::Write => {
+                        report.writes_completed += 1;
+                        report.write_latency.record(latency);
+                    }
+                }
+                report.makespan_ns = report.makespan_ns.max(r.completed_at);
+            }
+        }
+        report.gc_invocations = self.gc_invocations;
+        report.gc_page_moves = self.gc_page_moves;
+        report.erase_suspensions = self.erase_suspensions;
+        let mut stats = self.controller.stats().clone();
+        // Only report erases performed during this run.
+        stats.operations -= baseline_erase_ops.min(stats.operations);
+        report.erase_stats = stats;
+        report
+    }
+
+    /// Number of user pages written (including preconditioning fills).
+    pub fn user_pages_written(&self) -> u64 {
+        self.user_pages_written
+    }
+
+    /// Access to the drive-wide erase statistics.
+    pub fn erase_stats(&self) -> &aero_core::EraseStats {
+        self.controller.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn kick_die(
+        &mut self,
+        die_idx: usize,
+        now: u64,
+        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+    ) {
+        let die = &mut self.dies[die_idx];
+        if !die.idle_event_pending {
+            let at = now.max(die.busy_until);
+            die.idle_event_pending = true;
+            events.push(Reverse((at, Event::DieIdle(die_idx))));
+        }
+    }
+
+    /// Places one logical page write on a die: allocates a frontier slot,
+    /// updates the mapping, invalidates the previous location, and programs
+    /// the chip. Returns the physical placement, or `None` if the die has no
+    /// space (caller must free space first).
+    fn place_write(&mut self, die_idx: usize, lpn: u64) -> Option<Ppa> {
+        let pages_per_block = self.config.family.geometry.pages_per_block;
+        let program_scale = self
+            .controller
+            .scheme()
+            .program_latency_scale(self.average_pec(die_idx));
+        let die = &mut self.dies[die_idx];
+        let (block, page, _) = die.ftl.allocate_page()?;
+        let ppa = Ppa {
+            die: die_idx as u32,
+            block,
+            page,
+        };
+        die.p2l[(block * pages_per_block + page) as usize] = lpn;
+        die.chip.set_program_latency_scale(program_scale.max(1.0));
+        let addr = self.config.family.geometry.block_addr(block as usize);
+        die.chip
+            .program_page(PageAddr::new(addr, page), DataPattern::Randomized)
+            .expect("frontier pages are programmed in order on erased blocks");
+        self.user_pages_written += 1;
+        // Invalidate the previous location of this logical page.
+        if let Some(old) = self.mapping.update(lpn, ppa) {
+            let old_die = &mut self.dies[old.die as usize];
+            old_die.ftl.block_mut(old.block).mark_invalid(old.page);
+            old_die.p2l[(old.block * pages_per_block + old.page) as usize] = u64::MAX;
+        }
+        Some(ppa)
+    }
+
+    fn average_pec(&self, die_idx: usize) -> u32 {
+        // A cheap proxy: the PEC of block 0 of the die (all blocks age at a
+        // similar rate under the round-robin frontier policy).
+        self.dies[die_idx]
+            .chip
+            .wear(BlockAddr::new(0, 0))
+            .map(|w| w.pec)
+            .unwrap_or(0)
+    }
+
+    /// Starts garbage collection on a die if it is running low on free blocks.
+    fn maybe_start_gc(&mut self, die_idx: usize) {
+        let threshold = self.config.gc_threshold_free_blocks;
+        let pages_per_block = self.config.family.geometry.pages_per_block;
+        let die = &mut self.dies[die_idx];
+        if die.gc_in_progress || die.ftl.free_block_count() > threshold {
+            return;
+        }
+        let Some(victim) = die.ftl.pick_gc_victim() else {
+            return;
+        };
+        die.gc_in_progress = true;
+        self.gc_invocations += 1;
+        die.ftl.start_collecting(victim);
+        let valid: Vec<u32> = die.ftl.block(victim).valid_page_indices().collect();
+        for page in &valid {
+            die.gc_moves.push_back(GcMove {
+                victim_block: victim,
+                page: *page,
+            });
+        }
+        let _ = pages_per_block;
+        // The erase decision (scheme, loop latencies) is made when the erase
+        // job is dispatched, so it sees the block's wear at that point.
+        die.erase_jobs.push_back(EraseJob {
+            block: victim,
+            loop_latencies: VecDeque::new(),
+            started: false,
+        });
+    }
+
+    /// Runs the erase scheme for a block and returns the per-loop latencies to
+    /// pay in simulated time.
+    fn decide_erase(&mut self, die_idx: usize, block: u32) -> VecDeque<u64> {
+        let blocks_per_die = self.config.family.geometry.total_blocks() as usize;
+        let addr = self.config.family.geometry.block_addr(block as usize);
+        let block_id = BlockId(die_idx * blocks_per_die + block as usize);
+        let die = &mut self.dies[die_idx];
+        die.ftl.start_erasing(block);
+        let mut latencies: VecDeque<u64> = match self.controller.erase(&mut die.chip, addr, block_id)
+        {
+            Ok(exec) => exec.report.loops.iter().map(|l| l.latency.as_nanos()).collect(),
+            Err(_) => {
+                // The block exhausted the chip's loop budget (end of life); it
+                // still spent the full budget's worth of time on the die.
+                let loop_ns = self.config.family.timings.erase_loop().as_nanos();
+                (0..self.config.family.erase.max_loops).map(|_| loop_ns).collect()
+            }
+        };
+        if latencies.is_empty() {
+            // A scheme that skips every pulse still pays the verify-read of
+            // the decision it based the skip on; charge one verify-read.
+            latencies.push_back(Micros::from_micros(100).as_nanos());
+        }
+        latencies
+    }
+
+    /// Dispatches the next piece of work on a die at time `now`.
+    fn dispatch(
+        &mut self,
+        die_idx: usize,
+        now: u64,
+        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+        requests: &mut [RequestState],
+        report: &mut RunReport,
+    ) {
+        if self.dies[die_idx].busy_until > now {
+            // Spurious wake-up; re-arm.
+            self.kick_die(die_idx, now, events);
+            return;
+        }
+        let timings = self.config.family.timings;
+        let transfer = self.config.transfer_ns;
+        let suspension = self.config.erase_suspension;
+
+        // Priority 1: user reads (they may suspend an in-flight erase).
+        if let Some(txn) = self.dies[die_idx].user_reads.pop_front() {
+            let erase_in_flight = self.dies[die_idx]
+                .erase_jobs
+                .front()
+                .map(|j| j.started && !j.loop_latencies.is_empty())
+                .unwrap_or(false);
+            if erase_in_flight && suspension {
+                self.erase_suspensions += 1;
+            } else if erase_in_flight && !suspension {
+                // Without suspension the erase must finish first; put the read
+                // back and fall through to the erase branch.
+                self.dies[die_idx].user_reads.push_front(txn);
+                self.continue_erase(die_idx, now, events);
+                return;
+            }
+            let latency = timings.read.as_nanos() + transfer;
+            self.complete_page(die_idx, txn, now + latency, requests);
+            self.make_busy(die_idx, now, latency, events);
+            return;
+        }
+
+        // Priority 2: an erase that has already started continues (when
+        // suspension is enabled it only runs because no reads are pending).
+        let erase_started = self.dies[die_idx]
+            .erase_jobs
+            .front()
+            .map(|j| j.started && !j.loop_latencies.is_empty())
+            .unwrap_or(false);
+        if erase_started {
+            self.continue_erase(die_idx, now, events);
+            return;
+        }
+
+        // Priority 3: when the die is out of free blocks, space reclamation
+        // beats user writes.
+        let starved = self.dies[die_idx].ftl.free_block_count() == 0;
+        if starved && self.dispatch_gc_or_erase(die_idx, now, events, report) {
+            return;
+        }
+
+        // Priority 4: user writes.
+        if let Some(txn) = self.dies[die_idx].user_writes.pop_front() {
+            let program_scale = self
+                .controller
+                .scheme()
+                .program_latency_scale(self.average_pec(die_idx))
+                .max(1.0);
+            if self.place_write(die_idx, txn.lpn).is_some() {
+                let latency =
+                    (timings.program.as_nanos() as f64 * program_scale) as u64 + transfer;
+                self.complete_page(die_idx, txn, now + latency, requests);
+                self.maybe_start_gc(die_idx);
+                self.make_busy(die_idx, now, latency, events);
+            } else {
+                // No space: requeue the write and force reclamation.
+                self.dies[die_idx].user_writes.push_front(txn);
+                self.maybe_start_gc(die_idx);
+                if !self.dispatch_gc_or_erase(die_idx, now, events, report) {
+                    // Nothing to reclaim either; drop the page write to avoid
+                    // deadlock (only reachable on pathologically small
+                    // configurations).
+                    let txn = self.dies[die_idx].user_writes.pop_front().expect("just requeued");
+                    self.complete_page(die_idx, txn, now + transfer, requests);
+                    self.make_busy(die_idx, now, transfer, events);
+                }
+            }
+            return;
+        }
+
+        // Priority 5: background space reclamation.
+        if self.dispatch_gc_or_erase(die_idx, now, events, report) {
+            return;
+        }
+        // Idle: nothing to do.
+    }
+
+    /// Dispatches a GC page move or starts/continues an erase job. Returns
+    /// true if any work was dispatched.
+    fn dispatch_gc_or_erase(
+        &mut self,
+        die_idx: usize,
+        now: u64,
+        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+        report: &mut RunReport,
+    ) -> bool {
+        let timings = self.config.family.timings;
+        let transfer = self.config.transfer_ns;
+        let pages_per_block = self.config.family.geometry.pages_per_block;
+        if let Some(mv) = self.dies[die_idx].gc_moves.pop_front() {
+            // Migrate one valid page: read it and rewrite it on the same die.
+            let lpn = self.dies[die_idx].p2l
+                [(mv.victim_block * pages_per_block + mv.page) as usize];
+            let mut latency = timings.read.as_nanos() + transfer;
+            if lpn != u64::MAX && self.dies[die_idx].ftl.block(mv.victim_block).is_valid(mv.page) {
+                if self.place_write(die_idx, lpn).is_some() {
+                    latency += timings.program.as_nanos() + transfer;
+                    self.gc_page_moves += 1;
+                    self.user_pages_written -= 1; // GC rewrites are not user writes
+                }
+            }
+            self.make_busy(die_idx, now, latency, events);
+            return true;
+        }
+        // Erase job: only when its victim's migrations are done.
+        let can_erase = self.dies[die_idx]
+            .erase_jobs
+            .front()
+            .map(|j| !j.started)
+            .unwrap_or(false);
+        if can_erase {
+            let block = self.dies[die_idx].erase_jobs.front().unwrap().block;
+            let latencies = self.decide_erase(die_idx, block);
+            {
+                let job = self.dies[die_idx].erase_jobs.front_mut().unwrap();
+                job.loop_latencies = latencies;
+                job.started = true;
+            }
+            let _ = report;
+            self.continue_erase(die_idx, now, events);
+            return true;
+        }
+        false
+    }
+
+    /// Pays the next erase loop (or all remaining loops when suspension is
+    /// disabled) of the die's in-flight erase job.
+    fn continue_erase(
+        &mut self,
+        die_idx: usize,
+        now: u64,
+        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+    ) {
+        let suspension = self.config.erase_suspension;
+        let die = &mut self.dies[die_idx];
+        let Some(job) = die.erase_jobs.front_mut() else {
+            return;
+        };
+        let latency = if suspension {
+            job.loop_latencies.pop_front().unwrap_or(0)
+        } else {
+            let total: u64 = job.loop_latencies.iter().sum();
+            job.loop_latencies.clear();
+            total
+        };
+        let finished = job.loop_latencies.is_empty();
+        if finished {
+            let block = job.block;
+            die.erase_jobs.pop_front();
+            die.ftl.finish_erase(block);
+            die.gc_in_progress = die.erase_jobs.iter().any(|_| true) || !die.gc_moves.is_empty();
+        }
+        self.make_busy(die_idx, now, latency.max(1), events);
+    }
+
+    fn make_busy(
+        &mut self,
+        die_idx: usize,
+        now: u64,
+        latency: u64,
+        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+    ) {
+        let die = &mut self.dies[die_idx];
+        die.busy_until = now + latency;
+        let has_work = !die.user_reads.is_empty()
+            || !die.user_writes.is_empty()
+            || !die.gc_moves.is_empty()
+            || !die.erase_jobs.is_empty();
+        if has_work && !die.idle_event_pending {
+            die.idle_event_pending = true;
+            events.push(Reverse((die.busy_until, Event::DieIdle(die_idx))));
+        }
+    }
+
+    fn complete_page(
+        &mut self,
+        _die_idx: usize,
+        txn: PageTxn,
+        at: u64,
+        requests: &mut [RequestState],
+    ) {
+        let r = &mut requests[txn.request];
+        r.remaining_pages = r.remaining_pages.saturating_sub(1);
+        r.completed_at = r.completed_at.max(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_core::SchemeKind;
+    use aero_workloads::SyntheticWorkload;
+
+    fn workload(reads: f64, count: usize) -> Trace {
+        SyntheticWorkload {
+            read_ratio: reads,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 200_000.0,
+            footprint_bytes: 4 << 20,
+            hot_access_fraction: 0.8,
+            hot_region_fraction: 0.2,
+        }
+        .generate(count, 3)
+    }
+
+    fn run(scheme: SchemeKind, suspension: bool, count: usize) -> RunReport {
+        let config = SsdConfig::small_test(scheme).with_erase_suspension(suspension);
+        let mut ssd = Ssd::new(config);
+        ssd.fill_fraction(0.6);
+        ssd.run_trace(&workload(0.5, count))
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let report = run(SchemeKind::Baseline, true, 400);
+        assert_eq!(report.reads_completed + report.writes_completed, 400);
+        assert!(report.makespan_ns > 0);
+        assert!(report.iops() > 0.0);
+    }
+
+    #[test]
+    fn writes_trigger_gc_and_erases() {
+        let config = SsdConfig::small_test(SchemeKind::Baseline);
+        let mut ssd = Ssd::new(config);
+        ssd.fill_fraction(0.7);
+        let trace = SyntheticWorkload {
+            read_ratio: 0.0,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 50_000.0,
+            footprint_bytes: 4 << 20,
+            hot_access_fraction: 0.9,
+            hot_region_fraction: 0.3,
+        }
+        .generate(3_000, 1);
+        let report = ssd.run_trace(&trace);
+        assert_eq!(report.writes_completed, 3_000);
+        assert!(report.gc_invocations > 0, "sustained writes must trigger GC");
+        assert!(ssd.erase_stats().operations > 0, "GC must erase victim blocks");
+        assert!(report.write_amplification(3_000) >= 1.0);
+    }
+
+    #[test]
+    fn read_latency_has_reasonable_floor() {
+        let report = run(SchemeKind::Baseline, true, 300);
+        // A read takes at least tR + transfer = 50 us.
+        let mut lat = report.read_latency.clone();
+        assert!(lat.percentile(50.0) >= 50_000);
+    }
+
+    #[test]
+    fn aero_reduces_read_tail_latency_under_write_pressure() {
+        let mk = |scheme| {
+            let config = SsdConfig::small_test(scheme).with_seed(5);
+            let mut ssd = Ssd::new(config);
+            ssd.fill_fraction(0.7);
+            let trace = SyntheticWorkload {
+                read_ratio: 0.5,
+                mean_request_bytes: 16.0 * 1024.0,
+                mean_inter_arrival_ns: 120_000.0,
+                footprint_bytes: 4 << 20,
+                hot_access_fraction: 0.9,
+                hot_region_fraction: 0.3,
+            }
+            .generate(4_000, 7);
+            ssd.run_trace(&trace)
+        };
+        let mut base = mk(SchemeKind::Baseline);
+        let mut aero = mk(SchemeKind::Aero);
+        assert!(base.erase_stats.operations > 0 && aero.erase_stats.operations > 0);
+        let base_tail = base.read_latency.percentile(99.9);
+        let aero_tail = aero.read_latency.percentile(99.9);
+        assert!(
+            aero_tail <= base_tail,
+            "AERO tail {aero_tail} should not exceed baseline tail {base_tail}"
+        );
+        // Average latency is essentially unchanged (Table 4).
+        let base_mean = base.read_latency.mean();
+        let aero_mean = aero.read_latency.mean();
+        assert!((aero_mean - base_mean).abs() / base_mean < 0.2);
+    }
+
+    #[test]
+    fn disabling_erase_suspension_worsens_read_tail() {
+        let mk = |suspension| {
+            let config = SsdConfig::small_test(SchemeKind::Baseline)
+                .with_erase_suspension(suspension)
+                .with_seed(2);
+            let mut ssd = Ssd::new(config);
+            ssd.fill_fraction(0.7);
+            let trace = SyntheticWorkload {
+                read_ratio: 0.5,
+                mean_request_bytes: 16.0 * 1024.0,
+                mean_inter_arrival_ns: 120_000.0,
+                footprint_bytes: 4 << 20,
+                hot_access_fraction: 0.9,
+                hot_region_fraction: 0.3,
+            }
+            .generate(4_000, 9);
+            ssd.run_trace(&trace)
+        };
+        let mut with = mk(true);
+        let mut without = mk(false);
+        assert!(
+            without.read_latency.percentile(99.99) >= with.read_latency.percentile(99.99),
+            "suspension should not make tails worse"
+        );
+    }
+
+    #[test]
+    fn preconditioning_wear_increases_erase_loops() {
+        let config = SsdConfig::small_test(SchemeKind::Baseline);
+        let mut fresh = Ssd::new(config.clone());
+        let mut aged = Ssd::new(config);
+        aged.precondition_wear(2_500);
+        fresh.fill_fraction(0.7);
+        aged.fill_fraction(0.7);
+        let trace = workload(0.0, 2_000);
+        let fresh_report = fresh.run_trace(&trace);
+        let aged_report = aged.run_trace(&trace);
+        assert!(fresh_report.erase_stats.operations > 0);
+        assert!(aged_report.erase_stats.operations > 0);
+        assert!(
+            aged.erase_stats().mean_loops() > fresh.erase_stats().mean_loops(),
+            "aged blocks need more erase loops"
+        );
+    }
+
+    #[test]
+    fn utilization_reflects_fill() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Aero));
+        assert_eq!(ssd.utilization(), 0.0);
+        ssd.fill_fraction(0.5);
+        assert!((ssd.utilization() - 0.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,40 @@
+//! # aero-workloads — storage workloads for the AERO evaluation
+//!
+//! The paper's system-level evaluation replays eleven block-I/O traces from
+//! two public suites (Alibaba Cloud and MSR Cambridge). The traces themselves
+//! are not redistributable, but the paper publishes their key statistics
+//! (Table 3): read ratio, average request size, and average inter-request
+//! arrival time. This crate provides:
+//!
+//! * [`request`] — the I/O request and trace data model;
+//! * [`synth`] — a seeded synthetic generator that produces traces matching a
+//!   target read ratio, request-size distribution, arrival process, and
+//!   locality profile;
+//! * [`catalog`] — the eleven workloads of Table 3, each expressed as a
+//!   synthetic-generator configuration (with the MSRC 10× arrival-time
+//!   acceleration the paper applies);
+//! * [`trace`] — MSR-Cambridge-format CSV parsing, so users who do have the
+//!   original traces can replay them directly;
+//! * [`precondition`] — sequential fill workloads used to bring a simulated
+//!   SSD to a steady utilization before measurement.
+//!
+//! ```
+//! use aero_workloads::catalog::WorkloadId;
+//!
+//! let spec = WorkloadId::AliA.spec();
+//! let trace = spec.generate(2_000, 42);
+//! assert_eq!(trace.len(), 2_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod precondition;
+pub mod request;
+pub mod synth;
+pub mod trace;
+
+pub use catalog::{WorkloadId, WorkloadSpec};
+pub use request::{IoOp, IoRequest, Trace};
+pub use synth::SyntheticWorkload;

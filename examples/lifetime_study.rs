@@ -1,0 +1,55 @@
+//! Lifetime: cycle a set of blocks with each erase scheme and watch the
+//! maximum RBER grow (a miniature Figure 13).
+//!
+//! Run with: `cargo run -p aero-bench --release --example lifetime_study`
+
+use aero_characterize::lifetime_study::{run, LifetimeStudyConfig};
+use aero_core::SchemeKind;
+
+fn main() {
+    let config = LifetimeStudyConfig {
+        blocks_per_scheme: 12,
+        max_pec: 6_000,
+        sample_every: 1_000,
+        ..LifetimeStudyConfig::paper_default()
+    };
+    println!(
+        "Cycling {} blocks per scheme to {} P/E cycles (requirement: {} errors/KiB)\n",
+        config.blocks_per_scheme, config.max_pec, config.requirement
+    );
+    let study = run(&config);
+
+    print!("{:<8}", "PEC");
+    for kind in SchemeKind::all() {
+        print!("{:>12}", kind.label());
+    }
+    println!();
+    for pec in (0..=config.max_pec).step_by(1_000) {
+        print!("{:<8}", pec);
+        for kind in SchemeKind::all() {
+            let v = study
+                .scheme(kind)
+                .and_then(|s| s.m_rber_at(pec))
+                .unwrap_or(f64::NAN);
+            print!("{:>12.1}", v);
+        }
+        println!();
+    }
+
+    println!();
+    let baseline = study.lifetime_of(SchemeKind::Baseline);
+    for kind in SchemeKind::all() {
+        let life = study.lifetime_of(kind);
+        println!(
+            "{:<10} lifetime {:>5} PEC ({:+.0}% vs Baseline{})",
+            kind.label(),
+            life,
+            (life as f64 / baseline as f64 - 1.0) * 100.0,
+            if study.scheme(kind).and_then(|s| s.lifetime_pec).is_none() {
+                ", still below the requirement at the cycling budget"
+            } else {
+                ""
+            }
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: erase one block with AERO and inspect the decision trace.
+//!
+//! Builds a single NAND chip, wears one block to 2.5K P/E cycles, and erases
+//! it twice — once with the conventional ISPE scheme and once with AERO — to
+//! show the latency, loop-count, and stress difference on the exact same
+//! block.
+//!
+//! Run with: `cargo run -p aero-bench --example quickstart`
+
+use aero_core::{controller::EraseController, scheme::BlockId, Aero, BaselineIspe};
+use aero_nand::{BlockAddr, Chip, ChipConfig, ChipFamily};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let family = ChipFamily::tlc_3d_48l();
+    let block = BlockAddr::new(0, 0);
+
+    // Two identical chips (same seed) so both schemes see the same block.
+    let mut chip_baseline = Chip::new(ChipConfig::new(family.clone()).with_seed(42));
+    let mut chip_aero = Chip::new(ChipConfig::new(family.clone()).with_seed(42));
+    chip_baseline.precondition_block(block, 2_500)?;
+    chip_aero.precondition_block(block, 2_500)?;
+
+    let mut baseline = EraseController::new(BaselineIspe::paper_default());
+    let mut aero = EraseController::new(Aero::aggressive());
+
+    let exec_baseline = baseline.erase(&mut chip_baseline, block, BlockId(0))?;
+    let exec_aero = aero.erase(&mut chip_aero, block, BlockId(0))?;
+
+    println!("Erasing block {block} at 2.5K P/E cycles\n");
+    for exec in [&exec_baseline, &exec_aero] {
+        println!("scheme      : {}", exec.scheme);
+        println!("loops       : {}", exec.report.n_loops());
+        for l in &exec.report.loops {
+            println!(
+                "  loop {:>2}: pulse {:>7}, fail bits {:>6}, passed {}",
+                l.loop_index, l.pulse, l.fail_bits, l.passed
+            );
+        }
+        println!("total time  : {}", exec.report.total_latency);
+        println!("cell stress : {:.1}", exec.report.stress);
+        println!(
+            "erase state : {}\n",
+            if exec.report.residual_units > 0.0 {
+                format!(
+                    "insufficiently erased on purpose (residual {:.1} units, covered by ECC margin)",
+                    exec.report.residual_units
+                )
+            } else {
+                "completely erased".to_string()
+            }
+        );
+    }
+
+    let saved = exec_baseline
+        .report
+        .total_latency
+        .saturating_sub(exec_aero.report.total_latency);
+    println!(
+        "AERO erased the same block {saved} faster and with {:.0}% less cell stress.",
+        (1.0 - exec_aero.report.stress / exec_baseline.report.stress) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the core invariants of the device
+//! model, the EPT, the FTL structures, and the latency statistics.
+
+use aero_core::ept::{Ept, EPT_RANGES};
+use aero_core::scheme::BlockId;
+use aero_core::sef::ShallowEraseFlags;
+use aero_nand::chip_family::ChipFamily;
+use aero_nand::erase::characteristics::ispe_decomposition;
+use aero_nand::erase::failbits::FailBitModel;
+use aero_nand::reliability::ecc::EccConfig;
+use aero_nand::reliability::rber::{RberModel, RberSample};
+use aero_nand::reliability::retention::RetentionSpec;
+use aero_nand::timing::Micros;
+use aero_nand::wear::WearState;
+use aero_ssd::ftl::{DieFtl, PageMapping, Ppa};
+use aero_ssd::latency::LatencyRecorder;
+use proptest::prelude::*;
+
+proptest! {
+    /// The ISPE decomposition is monotone in the required dose: more dose
+    /// never needs fewer loops or a shorter final pulse at the same loop
+    /// count, and the final pulse always respects the chip's pulse bounds.
+    #[test]
+    fn ispe_decomposition_monotone_and_bounded(
+        a in 0.3f64..60.0,
+        b in 0.3f64..60.0,
+    ) {
+        let family = ChipFamily::tlc_3d_48l();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let d_lo = ispe_decomposition(&family, lo);
+        let d_hi = ispe_decomposition(&family, hi);
+        prop_assert!(d_hi.m_t_bers(&family) >= d_lo.m_t_bers(&family));
+        for d in [d_lo, d_hi] {
+            prop_assert!(d.n_ispe >= 1 && d.n_ispe <= family.erase.max_loops);
+            prop_assert!(d.final_pulse >= family.timings.erase_pulse_min);
+            prop_assert!(d.final_pulse <= family.timings.erase_pulse);
+        }
+    }
+
+    /// The fail-bit model is monotone (more remaining erasure never lowers
+    /// the expected fail-bit count) and its range index matches the paper's
+    /// γ/δ bucketing.
+    #[test]
+    fn fail_bit_model_monotone_and_consistent(remaining in 0.0f64..40.0, extra in 0.0f64..5.0) {
+        let model = FailBitModel::new(ChipFamily::tlc_3d_48l().fail_bits);
+        let f1 = model.expected_fail_bits(remaining);
+        let f2 = model.expected_fail_bits(remaining + extra);
+        prop_assert!(f2 + 1e-9 >= f1);
+        // Range indices are monotone in the fail-bit count.
+        prop_assert!(model.range_index(f2.round() as u64) >= model.range_index(f1.round() as u64));
+        // Inverting the expected count recovers a remaining-time estimate that
+        // never exceeds the true remaining time by more than one step.
+        let back = model.dose_for_fail_bits(f1);
+        prop_assert!(back <= remaining.max(1.0) + 1e-9);
+    }
+
+    /// M_RBER is monotone in accumulated stress, retention severity, and
+    /// residual erasure.
+    #[test]
+    fn rber_monotonicity(
+        stress in 0.0f64..300_000.0,
+        extra_stress in 0.0f64..50_000.0,
+        residual in 0.0f64..4.0,
+    ) {
+        let model = RberModel::new(&ChipFamily::tlc_3d_48l());
+        let wear = |s: f64| WearState { pec: 1_000, erase_stress: s, program_stress: 1_000.0 };
+        let base = model.m_rber(&RberSample::nominal(wear(stress)));
+        let more_stress = model.m_rber(&RberSample::nominal(wear(stress + extra_stress)));
+        prop_assert!(more_stress + 1e-9 >= base);
+        let with_residual = model.m_rber(&RberSample {
+            residual_units: residual,
+            ..RberSample::nominal(wear(stress))
+        });
+        prop_assert!(with_residual + 1e-9 >= base);
+        let no_retention = model.m_rber(&RberSample {
+            retention: RetentionSpec::immediate(),
+            ..RberSample::nominal(wear(stress))
+        });
+        prop_assert!(no_retention <= base + 1e-9);
+    }
+
+    /// Every EPT entry is within the legal pulse range, aggressive entries
+    /// never exceed conservative ones, and weaker ECC requirements never make
+    /// the aggressive column more aggressive.
+    #[test]
+    fn ept_entries_are_ordered(requirement in 30u32..=72) {
+        let family = ChipFamily::tlc_3d_48l();
+        let ecc = EccConfig::paper_default().with_requirement(requirement);
+        let ept = Ept::derive(&family, &ecc);
+        let reference = Ept::derive(&family, &EccConfig::paper_default());
+        for n in 1..=5u32 {
+            for r in 0..EPT_RANGES as u32 {
+                let e = ept.entry(n, r).unwrap();
+                prop_assert!(e.conservative <= family.timings.erase_pulse);
+                prop_assert!(e.aggressive <= e.conservative);
+                if requirement <= 63 {
+                    // A stricter requirement can only lengthen aggressive pulses.
+                    prop_assert!(e.aggressive >= reference.entry(n, r).unwrap().aggressive);
+                }
+            }
+        }
+    }
+
+    /// The SEF bitmap behaves like a plain set of booleans.
+    #[test]
+    fn sef_matches_reference_model(ops in proptest::collection::vec((0usize..500, any::<bool>()), 1..200)) {
+        let mut sef = ShallowEraseFlags::new(500);
+        let mut reference = vec![true; 500];
+        for (block, enabled) in ops {
+            sef.set(BlockId(block), enabled);
+            reference[block] = enabled;
+        }
+        for (i, &expected) in reference.iter().enumerate() {
+            prop_assert_eq!(sef.is_enabled(BlockId(i)), expected);
+        }
+        prop_assert_eq!(sef.enabled_count(), reference.iter().filter(|&&b| b).count());
+    }
+
+    /// The die FTL never loses pages: allocations are unique and the free +
+    /// open + full accounting matches the number of allocations.
+    #[test]
+    fn die_ftl_allocations_are_unique(blocks in 2u32..8, pages in 2u32..16, allocs in 1usize..100) {
+        let mut die = DieFtl::new(blocks, pages);
+        let capacity = (blocks * pages) as usize;
+        let mut seen = std::collections::HashSet::new();
+        let mut succeeded = 0usize;
+        for _ in 0..allocs {
+            match die.allocate_page() {
+                Some((block, page, _)) => {
+                    prop_assert!(seen.insert((block, page)), "duplicate allocation");
+                    succeeded += 1;
+                }
+                None => break,
+            }
+        }
+        prop_assert!(succeeded <= capacity);
+        prop_assert_eq!(die.valid_pages(), succeeded as u64);
+    }
+
+    /// The logical-to-physical mapping returns exactly the last installed
+    /// location for every logical page.
+    #[test]
+    fn page_mapping_last_write_wins(updates in proptest::collection::vec((0u64..64, 0u32..16, 0u32..64), 1..200)) {
+        let mut mapping = PageMapping::new(64);
+        let mut reference = std::collections::HashMap::new();
+        for (lpn, block, page) in updates {
+            let ppa = Ppa { die: 0, block, page };
+            mapping.update(lpn, ppa);
+            reference.insert(lpn, ppa);
+        }
+        for (lpn, ppa) in reference {
+            prop_assert_eq!(mapping.lookup(lpn), Some(ppa));
+        }
+    }
+
+    /// Percentiles are order statistics: they never decrease with the
+    /// percentile rank and are bracketed by the minimum and maximum samples.
+    #[test]
+    fn latency_percentiles_are_order_statistics(samples in proptest::collection::vec(1u64..10_000_000, 1..400)) {
+        let mut recorder = LatencyRecorder::new();
+        for &s in &samples {
+            recorder.record(s);
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        let p50 = recorder.percentile(50.0);
+        let p99 = recorder.percentile(99.0);
+        let p100 = recorder.percentile(100.0);
+        prop_assert!(p50 >= min && p50 <= max);
+        prop_assert!(p99 >= p50);
+        prop_assert_eq!(p100, max);
+    }
+
+    /// Micros arithmetic round-trips through milliseconds at 0.1 µs
+    /// resolution.
+    #[test]
+    fn micros_roundtrip(ms in 0.0f64..100.0) {
+        let m = Micros::from_millis_f64(ms);
+        prop_assert!((m.as_millis_f64() - ms).abs() < 1e-4);
+    }
+}
