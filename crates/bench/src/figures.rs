@@ -31,7 +31,16 @@ pub fn fig04(scale: Scale) -> String {
     let pecs = [0, 1_000, 2_000, 3_000, 4_000, 5_000];
     let dists = study::erase_latency_variation(&pop, &pecs);
     let mut table = TextTable::new(vec![
-        "PEC", "mean mtBERS [ms]", "std [ms]", "P(≤2.5ms)", "P(≤3.6ms)", "N=1", "N=2", "N=3", "N=4", "N≥5",
+        "PEC",
+        "mean mtBERS [ms]",
+        "std [ms]",
+        "P(≤2.5ms)",
+        "P(≤3.6ms)",
+        "N=1",
+        "N=2",
+        "N=3",
+        "N=4",
+        "N≥5",
     ]);
     for d in &dists {
         let n5plus: f64 = d
@@ -86,8 +95,13 @@ pub fn fig07(scale: Scale) -> String {
 pub fn fig08(scale: Scale) -> String {
     let pop = population(scale);
     let acc = study::felp_accuracy(&pop, &[2_000, 3_000, 4_000, 5_000]);
-    let mut table = TextTable::new(vec!["N_ISPE", "fail-bit range", "share of blocks", "majority mtEP accuracy"]);
-    for (&n, _) in &acc.observations {
+    let mut table = TextTable::new(vec![
+        "N_ISPE",
+        "fail-bit range",
+        "share of blocks",
+        "majority mtEP accuracy",
+    ]);
+    for &n in acc.observations.keys() {
         let fractions = acc.range_fractions(n);
         for (&range, &frac) in &fractions {
             let majority = acc.majority_accuracy(n, range).unwrap_or(0.0);
@@ -110,7 +124,11 @@ pub fn fig09(scale: Scale) -> String {
     let pop = population(scale);
     let dists = study::shallow_erase(&pop, &[0.5, 1.0, 1.5, 2.0], &[100, 500]);
     let mut table = TextTable::new(vec![
-        "tSE [ms]", "PEC", "avg tBERS [ms]", "reduced first loops", "range fractions (0,1,2,3+)",
+        "tSE [ms]",
+        "PEC",
+        "avg tBERS [ms]",
+        "reduced first loops",
+        "range fractions (0,1,2,3+)",
     ]);
     for d in &dists {
         let f = |r: u32| d.range_fractions.get(&r).copied().unwrap_or(0.0);
@@ -125,10 +143,19 @@ pub fn fig09(scale: Scale) -> String {
             format!("{}", d.pec),
             fmt(d.average_tbers_ms, 2),
             pct(d.reduced_fraction),
-            format!("{} / {} / {} / {}", pct(f(0)), pct(f(1)), pct(f(2)), pct(three_plus)),
+            format!(
+                "{} / {} / {} / {}",
+                pct(f(0)),
+                pct(f(1)),
+                pct(f(2)),
+                pct(three_plus)
+            ),
         ]);
     }
-    format!("Figure 9 — shallow-erasure fail-bit distribution\n{}", table.render())
+    format!(
+        "Figure 9 — shallow-erasure fail-bit distribution\n{}",
+        table.render()
+    )
 }
 
 /// Figure 10: reliability margin after complete vs insufficient erasure.
@@ -139,7 +166,13 @@ pub fn fig10(scale: Scale) -> String {
         &[500, 1_500, 2_500, 3_500, 4_500],
         &EccConfig::paper_default(),
     );
-    let mut table = TextTable::new(vec!["case", "N_ISPE", "fail-bit range", "max M_RBER", "meets requirement"]);
+    let mut table = TextTable::new(vec![
+        "case",
+        "N_ISPE",
+        "fail-bit range",
+        "max M_RBER",
+        "meets requirement",
+    ]);
     for (&n, &m) in &margin.complete {
         table.row(vec![
             "complete".to_string(),
@@ -177,7 +210,12 @@ pub fn fig11(scale: Scale) -> String {
             "\n{}: delta ≈ {:.0}, gamma ≈ {:.0}\n",
             s.family_name, s.fail_bits.delta_estimate, s.fail_bits.gamma_estimate
         ));
-        let mut table = TextTable::new(vec!["N_ISPE", "fail-bit range", "max M_RBER (incomplete)", "meets requirement"]);
+        let mut table = TextTable::new(vec![
+            "N_ISPE",
+            "fail-bit range",
+            "max M_RBER (incomplete)",
+            "meets requirement",
+        ]);
         for (&(n, range), &m) in &s.margin.incomplete {
             table.row(vec![
                 format!("{n}"),
@@ -201,7 +239,14 @@ pub fn fig13(scale: Scale) -> String {
         ..LifetimeStudyConfig::paper_default()
     };
     let result = lifetime_study::run(&config);
-    let mut table = TextTable::new(vec!["PEC", "Baseline", "i-ISPE", "DPES", "AERO_CONS", "AERO"]);
+    let mut table = TextTable::new(vec![
+        "PEC",
+        "Baseline",
+        "i-ISPE",
+        "DPES",
+        "AERO_CONS",
+        "AERO",
+    ]);
     let pecs: Vec<u32> = (0..=config.max_pec).step_by(1_000).collect();
     for pec in pecs {
         let cell = |k: SchemeKind| {
@@ -277,17 +322,41 @@ pub fn table2(_scale: Scale) -> String {
     let t = cfg.family.timings;
     let mut table = TextTable::new(vec!["parameter", "value"]);
     table.row(vec!["channels".to_string(), cfg.channels.to_string()]);
-    table.row(vec!["chips per channel".to_string(), cfg.chips_per_channel.to_string()]);
+    table.row(vec![
+        "chips per channel".to_string(),
+        cfg.chips_per_channel.to_string(),
+    ]);
     table.row(vec!["planes per chip".to_string(), g.planes.to_string()]);
-    table.row(vec!["blocks per plane".to_string(), g.blocks_per_plane.to_string()]);
-    table.row(vec!["pages per block".to_string(), g.pages_per_block.to_string()]);
-    table.row(vec!["page size".to_string(), format!("{} KiB", g.page_size_bytes / 1024)]);
-    table.row(vec!["raw capacity".to_string(), format!("{:.0} GB", cfg.raw_capacity_bytes() as f64 / 1e9)]);
-    table.row(vec!["overprovisioning".to_string(), pct(cfg.overprovisioning)]);
+    table.row(vec![
+        "blocks per plane".to_string(),
+        g.blocks_per_plane.to_string(),
+    ]);
+    table.row(vec![
+        "pages per block".to_string(),
+        g.pages_per_block.to_string(),
+    ]);
+    table.row(vec![
+        "page size".to_string(),
+        format!("{} KiB", g.page_size_bytes / 1024),
+    ]);
+    table.row(vec![
+        "raw capacity".to_string(),
+        format!("{:.0} GB", cfg.raw_capacity_bytes() as f64 / 1e9),
+    ]);
+    table.row(vec![
+        "overprovisioning".to_string(),
+        pct(cfg.overprovisioning),
+    ]);
     table.row(vec!["tR".to_string(), format!("{}", t.read)]);
     table.row(vec!["tPROG".to_string(), format!("{}", t.program)]);
-    table.row(vec!["tEP (default)".to_string(), format!("{}", t.erase_pulse)]);
-    table.row(vec!["tEP (AERO range)".to_string(), format!("{} - {}", t.erase_pulse_min, t.erase_pulse)]);
+    table.row(vec![
+        "tEP (default)".to_string(),
+        format!("{}", t.erase_pulse),
+    ]);
+    table.row(vec![
+        "tEP (AERO range)".to_string(),
+        format!("{} - {}", t.erase_pulse_min, t.erase_pulse),
+    ]);
     table.row(vec!["tSE (AERO)".to_string(), "1.00ms".to_string()]);
     table.row(vec!["GC policy".to_string(), "greedy".to_string()]);
     format!("Table 2 — simulated SSD configuration\n{}", table.render())
@@ -296,7 +365,11 @@ pub fn table2(_scale: Scale) -> String {
 /// Table 3: characteristics of the evaluated workloads.
 pub fn table3(_scale: Scale) -> String {
     let mut table = TextTable::new(vec![
-        "trace", "suite", "read ratio", "avg request [KB]", "avg inter-arrival [ms]",
+        "trace",
+        "suite",
+        "read ratio",
+        "avg request [KB]",
+        "avg inter-arrival [ms]",
     ]);
     for id in WorkloadId::all() {
         let s = id.spec();

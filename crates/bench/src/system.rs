@@ -145,14 +145,11 @@ fn workloads_for(scale: Scale) -> Vec<WorkloadId> {
 /// PEC, normalized to Baseline.
 pub fn fig14(scale: Scale) -> String {
     let schemes = SchemeKind::all();
-    let mut out = String::from(
-        "Figure 14 — normalized read tail latency (99.99th / 99.9999th percentile)\n",
-    );
+    let mut out =
+        String::from("Figure 14 — normalized read tail latency (99.99th / 99.9999th percentile)\n");
     for pec in [500, 2_500, 4_500] {
         out.push_str(&format!("\nPEC = {pec}\n"));
-        let mut table = TextTable::new(vec![
-            "workload", "i-ISPE", "DPES", "AERO_CONS", "AERO",
-        ]);
+        let mut table = TextTable::new(vec!["workload", "i-ISPE", "DPES", "AERO_CONS", "AERO"]);
         let mut geo: BTreeMap<&str, (f64, u32)> = BTreeMap::new();
         for workload in workloads_for(scale) {
             let cmp = SchemeComparison::run(workload, pec, scale, &schemes);
@@ -235,7 +232,11 @@ pub fn fig15(scale: Scale) -> String {
     for pec in [500, 2_500, 4_500] {
         out.push_str(&format!("\nPEC = {pec}\n"));
         let mut table = TextTable::new(vec![
-            "scheme", "suspension", "99.9th", "99.99th", "99.9999th",
+            "scheme",
+            "suspension",
+            "99.9th",
+            "99.99th",
+            "99.9999th",
         ]);
         // Baseline without suspension defines the normalization.
         let mut norm: BTreeMap<u32, f64> = BTreeMap::new();
@@ -281,7 +282,11 @@ pub fn fig16(scale: Scale) -> String {
     let workloads = workloads_for(scale);
     for pec in [500, 2_500, 4_500] {
         out.push_str(&format!("\nPEC = {pec}\n"));
-        let mut table = TextTable::new(vec!["misprediction rate", "AERO_CONS 99.9999th", "AERO 99.9999th"]);
+        let mut table = TextTable::new(vec![
+            "misprediction rate",
+            "AERO_CONS 99.9999th",
+            "AERO 99.9999th",
+        ]);
         for rate in [0.0, 0.01, 0.05, 0.10, 0.20] {
             let mut cells = Vec::new();
             for scheme in [SchemeKind::AeroCons, SchemeKind::Aero] {
@@ -299,7 +304,11 @@ pub fn fig16(scale: Scale) -> String {
                 }
                 cells.push(fmt(ratio_sum / count as f64, 2));
             }
-            table.row(vec![format!("{:.0}%", rate * 100.0), cells[0].clone(), cells[1].clone()]);
+            table.row(vec![
+                format!("{:.0}%", rate * 100.0),
+                cells[0].clone(),
+                cells[1].clone(),
+            ]);
         }
         out.push_str(&table.render());
     }
@@ -313,7 +322,11 @@ pub fn fig17(scale: Scale) -> String {
     );
     // Lifetime part: rerun the Figure 13 study with weaker requirements.
     let mut table = TextTable::new(vec![
-        "requirement [bits/KiB]", "Baseline life", "AERO_CONS life", "AERO life", "AERO vs CONS",
+        "requirement [bits/KiB]",
+        "Baseline life",
+        "AERO_CONS life",
+        "AERO life",
+        "AERO vs CONS",
     ]);
     for requirement in [40.0, 50.0, 63.0] {
         let config = aero_characterize::lifetime_study::LifetimeStudyConfig {
@@ -341,7 +354,9 @@ pub fn fig17(scale: Scale) -> String {
 
     // Tail-latency part at 2.5K PEC across requirements.
     let mut latency_table = TextTable::new(vec![
-        "requirement [bits/KiB]", "AERO 99.99th (norm.)", "AERO 99.9999th (norm.)",
+        "requirement [bits/KiB]",
+        "AERO 99.99th (norm.)",
+        "AERO 99.9999th (norm.)",
     ]);
     let workloads = workloads_for(scale);
     for requirement in [40u32, 50, 63] {

@@ -214,7 +214,10 @@ mod tests {
         let first = result.curve.first().unwrap().1;
         let last = result.curve.last().unwrap().1;
         assert!(last > first);
-        assert!(result.lifetime_pec.is_none(), "1K PEC is far from end of life");
+        assert!(
+            result.lifetime_pec.is_none(),
+            "1K PEC is far from end of life"
+        );
     }
 
     #[test]

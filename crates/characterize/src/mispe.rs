@@ -54,8 +54,7 @@ impl MIspeResult {
     pub fn fail_bits_before_final_loop(&self) -> Option<u64> {
         self.steps
             .iter()
-            .filter(|s| s.loop_index < self.n_ispe)
-            .next_back()
+            .rfind(|s| s.loop_index < self.n_ispe)
             .map(|s| s.fail_bits)
     }
 

@@ -8,7 +8,9 @@
 //! without simulating every intervening cycle.
 
 use aero_nand::chip_family::ChipFamily;
-use aero_nand::erase::characteristics::{baseline_equivalent_wear, ispe_decomposition, EraseCharacteristics, MinimumEraseLatency};
+use aero_nand::erase::characteristics::{
+    baseline_equivalent_wear, ispe_decomposition, EraseCharacteristics, MinimumEraseLatency,
+};
 use aero_nand::reliability::rber::{RberModel, RberSample};
 use aero_nand::reliability::retention::RetentionSpec;
 use aero_nand::wear::WearState;
@@ -80,7 +82,8 @@ impl BlockSample {
     /// (conventionally cycled).
     pub fn sample_dose_at(&self, family: &ChipFamily, pec: u32, rng: &mut ChaCha12Rng) -> f64 {
         let wear = self.wear_at(family, pec);
-        self.characteristics.sample_required_dose(family, &wear, rng)
+        self.characteristics
+            .sample_required_dose(family, &wear, rng)
     }
 
     /// The block's minimum erase latency decomposition at a P/E-cycle count.
@@ -199,8 +202,10 @@ mod tests {
         let w3 = b.wear_at(family, 3_000);
         assert_eq!(w0.erase_stress, 0.0);
         assert!(w3.erase_stress > 0.0);
-        assert!(b.m_rber_at(family, 3_000, 0.0, RetentionSpec::one_year_30c())
-            > b.m_rber_at(family, 0, 0.0, RetentionSpec::one_year_30c()));
+        assert!(
+            b.m_rber_at(family, 3_000, 0.0, RetentionSpec::one_year_30c())
+                > b.m_rber_at(family, 0, 0.0, RetentionSpec::one_year_30c())
+        );
     }
 
     #[test]

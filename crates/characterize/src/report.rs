@@ -76,9 +76,11 @@ pub fn fmt(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
 }
 
-/// Formats a ratio as a percentage string.
+/// Formats a ratio as a percentage string. Adding positive zero first
+/// normalizes `-0.0` (the identity of an empty `f64` sum) so empty
+/// categories print as `0.0%` rather than `-0.0%`.
 pub fn pct(value: f64) -> String {
-    format!("{:.1}%", value * 100.0)
+    format!("{:.1}%", value * 100.0 + 0.0)
 }
 
 #[cfg(test)]

@@ -152,7 +152,11 @@ pub fn failbit_vs_tep(population: &Population, pecs: &[u32]) -> FailBitStudy {
                 continue;
             }
             let final_steps = (result.m_t_ep.as_millis_f64() / 0.5).round() as u32;
-            for s in result.steps.iter().filter(|s| s.loop_index == result.n_ispe) {
+            for s in result
+                .steps
+                .iter()
+                .filter(|s| s.loop_index == result.n_ispe)
+            {
                 let key = (result.n_ispe, s.steps_in_loop);
                 let entry = max_fail.entry(key).or_insert(0);
                 *entry = (*entry).max(s.fail_bits);
@@ -344,10 +348,7 @@ pub fn shallow_erase(
             out.push(ShallowEraseDistribution {
                 t_se_ms: t_se,
                 pec,
-                range_fractions: ranges
-                    .into_iter()
-                    .map(|(r, c)| (r, c as f64 / n))
-                    .collect(),
+                range_fractions: ranges.into_iter().map(|(r, c)| (r, c as f64 / n)).collect(),
                 average_tbers_ms: total_tbers / n,
                 reduced_fraction: reduced as f64 / n,
             });
@@ -382,7 +383,11 @@ impl ReliabilityMargin {
 }
 
 /// Figure 10: `M_RBER` after complete versus insufficient erasure.
-pub fn reliability_margin(population: &Population, pecs: &[u32], ecc: &EccConfig) -> ReliabilityMargin {
+pub fn reliability_margin(
+    population: &Population,
+    pecs: &[u32],
+    ecc: &EccConfig,
+) -> ReliabilityMargin {
     let family = population.family();
     let fail_model = FailBitModel::new(family.fail_bits);
     let probe = MIspeProbe::new(family);
@@ -433,7 +438,12 @@ pub struct OtherChipStudy {
 
 /// Figure 11: repeats the δ/γ extraction and the insufficient-erasure
 /// reliability study on a different chip family.
-pub fn other_chip_type(family: ChipFamily, chips: u32, blocks_per_chip: u32, seed: u64) -> OtherChipStudy {
+pub fn other_chip_type(
+    family: ChipFamily,
+    chips: u32,
+    blocks_per_chip: u32,
+    seed: u64,
+) -> OtherChipStudy {
     let population = Population::generate(crate::population::PopulationConfig {
         family: family.clone(),
         chips,
@@ -558,7 +568,11 @@ mod tests {
         for d in &dists {
             // The paper: ~85% of blocks benefit at tSE = 1 ms, and the average
             // tBERS is well below the 3.6 ms conventional first loop.
-            assert!(d.reduced_fraction > 0.7, "reduced fraction {}", d.reduced_fraction);
+            assert!(
+                d.reduced_fraction > 0.7,
+                "reduced fraction {}",
+                d.reduced_fraction
+            );
             assert!(d.average_tbers_ms < 3.3, "avg tBERS {}", d.average_tbers_ms);
         }
     }
@@ -566,7 +580,11 @@ mod tests {
     #[test]
     fn figure10_margin_conditions() {
         let pop = small_population();
-        let margin = reliability_margin(&pop, &[500, 1_500, 2_500, 3_500, 4_500], &EccConfig::paper_default());
+        let margin = reliability_margin(
+            &pop,
+            &[500, 1_500, 2_500, 3_500, 4_500],
+            &EccConfig::paper_default(),
+        );
         // Complete erasure always meets the requirement for N_ISPE <= 4.
         for (&n, &m) in &margin.complete {
             if n <= 4 {

@@ -396,7 +396,9 @@ mod tests {
         // default latency, so shallow erasure stops paying off.
         let history = vec![outcome(40 * delta(), false, 1.0)];
         let action = aero.next_action(&ctx, &history);
-        assert!(matches!(action, EraseAction::Pulse { pulse, .. } if pulse == Micros::from_millis_f64(3.5)));
+        assert!(
+            matches!(action, EraseAction::Pulse { pulse, .. } if pulse == Micros::from_millis_f64(3.5))
+        );
         assert!(!aero.sef().is_enabled(BlockId(3)));
         // The next erase of this block starts with a full default pulse.
         aero.finish(&ctx, &history, true);
@@ -417,11 +419,13 @@ mod tests {
         aero.begin(&ctx);
         let mut history = Vec::new();
         let _ = aero.next_action(&ctx, &history); // shallow probe
-        // Probe reports very high fail bits (> F_HIGH): no reduction for
-        // loop 1.
+                                                  // Probe reports very high fail bits (> F_HIGH): no reduction for
+                                                  // loop 1.
         history.push(outcome(60 * delta(), false, 1.0));
         let a1 = aero.next_action(&ctx, &history);
-        assert!(matches!(a1, EraseAction::Pulse { pulse, .. } if pulse == Micros::from_millis_f64(3.5)));
+        assert!(
+            matches!(a1, EraseAction::Pulse { pulse, .. } if pulse == Micros::from_millis_f64(3.5))
+        );
         // Loop 1 still fails with high fail bits: loop 2 keeps the default.
         history.push(outcome(50 * delta(), false, 3.5));
         let a2 = aero.next_action(&ctx, &history);
@@ -452,7 +456,7 @@ mod tests {
         let _ = aero.next_action(&ctx, &history); // shallow
         history.push(outcome(2 * delta() - 100, false, 1.0));
         let _ = aero.next_action(&ctx, &history); // reduced remainder (1.5 ms)
-        // The reduced pulse unexpectedly failed: misprediction.
+                                                  // The reduced pulse unexpectedly failed: misprediction.
         history.push(outcome(500, false, 1.5));
         let rec = aero.next_action(&ctx, &history);
         assert_eq!(
@@ -466,7 +470,9 @@ mod tests {
         // Still failing: another 0.5 ms pulse, but no new misprediction count.
         history.push(outcome(300, false, 0.5));
         let rec2 = aero.next_action(&ctx, &history);
-        assert!(matches!(rec2, EraseAction::Pulse { pulse, .. } if pulse == Micros::from_millis_f64(0.5)));
+        assert!(
+            matches!(rec2, EraseAction::Pulse { pulse, .. } if pulse == Micros::from_millis_f64(0.5))
+        );
         assert_eq!(aero.mispredictions(), 1);
     }
 
@@ -477,7 +483,7 @@ mod tests {
         aero.begin(&ctx);
         let mut history = Vec::new();
         let _ = aero.next_action(&ctx, &history); // shallow
-        // F(0) in (2δ, 3δ]: aggressive remainder of 1.0 ms (reduced, margin).
+                                                  // F(0) in (2δ, 3δ]: aggressive remainder of 1.0 ms (reduced, margin).
         history.push(outcome(3 * delta() - 10, false, 1.0));
         let a = aero.next_action(&ctx, &history);
         assert_eq!(

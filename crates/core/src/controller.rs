@@ -76,7 +76,11 @@ impl<S: EraseScheme> EraseController<S> {
         let pec = chip.wear(block)?.pec;
         let ctx = BlockContext::new(block_id, pec);
         chip.set_program_latency_scale(self.scheme.program_latency_scale(pec).max(1.0));
-        chip.set_erase_voltage_scale(self.scheme.erase_voltage_scale(pec).clamp(f64::MIN_POSITIVE, 1.0));
+        chip.set_erase_voltage_scale(
+            self.scheme
+                .erase_voltage_scale(pec)
+                .clamp(f64::MIN_POSITIVE, 1.0),
+        );
 
         self.scheme.begin(&ctx);
         chip.begin_erase(block)?;
@@ -139,9 +143,7 @@ mod tests {
     fn baseline_erases_fresh_block_in_one_full_loop() {
         let mut c = chip(1);
         let mut ctl = EraseController::new(BaselineIspe::paper_default());
-        let exec = ctl
-            .erase(&mut c, BlockAddr::new(0, 0), BlockId(0))
-            .unwrap();
+        let exec = ctl.erase(&mut c, BlockAddr::new(0, 0), BlockId(0)).unwrap();
         assert!(exec.report.completely_erased());
         assert_eq!(exec.report.n_loops(), 1);
         assert_eq!(exec.report.total_latency, c.family().timings.erase_loop());
@@ -186,7 +188,10 @@ mod tests {
         let b = BlockAddr::new(0, 2);
         ctl.erase(&mut c, b, BlockId(2)).unwrap();
         let p = c
-            .program_page(aero_nand::geometry::PageAddr::new(b, 0), DataPattern::Randomized)
+            .program_page(
+                aero_nand::geometry::PageAddr::new(b, 0),
+                DataPattern::Randomized,
+            )
             .unwrap();
         assert!(p.latency > c.family().timings.program);
     }

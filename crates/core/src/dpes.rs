@@ -131,8 +131,14 @@ mod tests {
         // ~1.1x at 0.5K PEC, ~1.3x at 2.5K PEC, 1.0x once inapplicable.
         let at_500 = s.program_latency_scale(500);
         let at_2500 = s.program_latency_scale(2_500);
-        assert!((1.08..=1.18).contains(&at_500), "scale at 0.5K was {at_500}");
-        assert!((1.25..=1.35).contains(&at_2500), "scale at 2.5K was {at_2500}");
+        assert!(
+            (1.08..=1.18).contains(&at_500),
+            "scale at 0.5K was {at_500}"
+        );
+        assert!(
+            (1.25..=1.35).contains(&at_2500),
+            "scale at 2.5K was {at_2500}"
+        );
         assert_eq!(s.program_latency_scale(4_500), 1.0);
     }
 

@@ -77,7 +77,11 @@ impl Ept {
     ) -> Self {
         assert_eq!(rows.len(), EPT_ROWS, "EPT must have {EPT_ROWS} rows");
         for row in &rows {
-            assert_eq!(row.len(), EPT_RANGES, "EPT rows must have {EPT_RANGES} entries");
+            assert_eq!(
+                row.len(),
+                EPT_RANGES,
+                "EPT rows must have {EPT_RANGES} entries"
+            );
         }
         Ept {
             rows,
@@ -194,8 +198,9 @@ impl Ept {
                 // 0.5 ms units at the measured voltage: the ≤γ range needs at
                 // most one unit, the ≤kδ range at most 1 + k units.
                 let worst_remaining = if range == 0 { 1.0 } else { 1.0 + range as f64 };
-                let conservative =
-                    Micros::from_millis_f64(worst_remaining * step_ms).min(cap).max(step);
+                let conservative = Micros::from_millis_f64(worst_remaining * step_ms)
+                    .min(cap)
+                    .max(step);
                 let needed = (worst_remaining - allowed_residual_units).max(0.0);
                 let aggressive = if needed <= 0.0 {
                     Micros::ZERO
@@ -365,16 +370,16 @@ mod tests {
         );
         assert_eq!(ept.decide(&fm, 2, delta, true), EptDecision::Skip);
         // Row 4 is more cautious aggressively.
-        assert_eq!(
-            ept.decide(&fm, 4, delta, true),
-            EptDecision::Pulse(ms(0.5))
-        );
+        assert_eq!(ept.decide(&fm, 4, delta, true), EptDecision::Pulse(ms(0.5)));
         // Above F_HIGH: no reduction.
         let high = fm.params().f_high as u64 + 1;
         assert_eq!(ept.decide(&fm, 2, high, false), EptDecision::NoReduction);
         // 3.5 ms entries equal the default pulse, so they are "no reduction".
         let sixdelta = 6 * delta + 1;
-        assert_eq!(ept.decide(&fm, 2, sixdelta, false), EptDecision::NoReduction);
+        assert_eq!(
+            ept.decide(&fm, 2, sixdelta, false),
+            EptDecision::NoReduction
+        );
     }
 
     #[test]
@@ -382,7 +387,10 @@ mod tests {
         let ept = Ept::paper_table1();
         let fm = fail_model();
         let gamma = fm.params().gamma as u64;
-        assert_eq!(ept.decide(&fm, 8, gamma, true), ept.decide(&fm, 5, gamma, true));
+        assert_eq!(
+            ept.decide(&fm, 8, gamma, true),
+            ept.decide(&fm, 5, gamma, true)
+        );
     }
 
     #[test]
@@ -425,7 +433,10 @@ mod tests {
                 }
             }
         }
-        assert!(strict_skips < normal_skips, "weaker ECC must allow fewer skips");
+        assert!(
+            strict_skips < normal_skips,
+            "weaker ECC must allow fewer skips"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl Felp {
     ///
     /// Panics if the rate is outside [0, 1].
     pub fn with_misprediction_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "misprediction rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "misprediction rate must be in [0, 1]"
+        );
         self.misprediction_rate = rate;
         self
     }

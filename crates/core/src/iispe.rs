@@ -81,7 +81,8 @@ impl EraseScheme for IntelligentIspe {
         if complete {
             // Record the voltage index the final (successful) loop used.
             let final_index = self.start_index + (history.len() as u32).saturating_sub(1);
-            self.last_final_loop.insert(ctx.block_id, final_index.max(1));
+            self.last_final_loop
+                .insert(ctx.block_id, final_index.max(1));
         }
     }
 }

@@ -209,7 +209,10 @@ mod tests {
         let curve = LifetimeCurve {
             scheme: "x".to_string(),
             points: vec![
-                LifetimePoint { pec: 0, m_rber: 10.0 },
+                LifetimePoint {
+                    pec: 0,
+                    m_rber: 10.0,
+                },
                 LifetimePoint {
                     pec: 100,
                     m_rber: 20.0,

@@ -58,7 +58,11 @@ impl ShallowEraseFlags {
     ///
     /// Panics if the block index is out of range.
     pub fn set(&mut self, block: BlockId, enabled: bool) {
-        assert!(block.0 < self.len, "block {block:?} out of range (len {})", self.len);
+        assert!(
+            block.0 < self.len,
+            "block {block:?} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (block.0 % 64);
         if enabled {
             self.words[block.0 / 64] |= mask;

@@ -93,7 +93,11 @@ impl EraseStats {
         self.total_stress += other.total_stress;
         self.partial_erases += other.partial_erases;
         self.complete_erases += other.complete_erases;
-        for (a, b) in self.loop_histogram.iter_mut().zip(other.loop_histogram.iter()) {
+        for (a, b) in self
+            .loop_histogram
+            .iter_mut()
+            .zip(other.loop_histogram.iter())
+        {
             *a += b;
         }
         self.max_latency = self.max_latency.max(other.max_latency);
@@ -112,7 +116,11 @@ mod tests {
                 loop_index: i + 1,
                 pulse: Micros::from_millis_f64(3.5),
                 latency: Micros::from_millis_f64(3.6),
-                fail_bits: if complete && i == loops - 1 { 10 } else { 10_000 },
+                fail_bits: if complete && i == loops - 1 {
+                    10
+                } else {
+                    10_000
+                },
                 passed: complete && i == loops - 1,
             })
             .collect();

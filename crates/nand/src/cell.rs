@@ -130,7 +130,9 @@ mod tests {
         // data randomization in TLC (paper §4).
         let f = DataPattern::Randomized.programmed_fraction(CellTechnology::Tlc);
         assert!((f - 0.875).abs() < 1e-12);
-        assert!((DataPattern::Randomized.erased_fraction(CellTechnology::Tlc) - 0.125).abs() < 1e-12);
+        assert!(
+            (DataPattern::Randomized.erased_fraction(CellTechnology::Tlc) - 0.125).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -316,7 +316,9 @@ impl Chip {
         let start = state.next_page;
         let mut total = Micros::ZERO;
         for page in start..pages {
-            total += self.program_page(PageAddr::new(block, page), pattern)?.latency;
+            total += self
+                .program_page(PageAddr::new(block, page), pattern)?
+                .latency;
         }
         Ok(total)
     }
@@ -508,7 +510,10 @@ impl Chip {
     ///
     /// Panics if the scale is not within (0, 1].
     pub fn set_erase_voltage_scale(&mut self, scale: f64) {
-        assert!(scale > 0.0 && scale <= 1.0, "voltage scale must be in (0, 1]");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "voltage scale must be in (0, 1]"
+        );
         self.erase_voltage_scale = scale;
     }
 
@@ -574,7 +579,8 @@ impl Chip {
     /// jump-start studies at a given wear level without cycling block by
     /// block. The stress assigned corresponds to conventional ISPE cycling.
     pub fn precondition_block(&mut self, block: BlockAddr, pec: u32) -> Result<(), NandError> {
-        let wear = crate::erase::characteristics::baseline_equivalent_wear(&self.config.family, pec);
+        let wear =
+            crate::erase::characteristics::baseline_equivalent_wear(&self.config.family, pec);
         let state = self.block_state_mut(block)?;
         state.wear = wear;
         Ok(())

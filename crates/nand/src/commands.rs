@@ -122,9 +122,9 @@ pub fn execute(chip: &mut Chip, command: Command) -> Result<CommandResponse, Nan
         Command::ReadPage { addr, retention } => {
             chip.read_page(addr, retention).map(CommandResponse::Read)
         }
-        Command::ProgramPage { addr, pattern } => {
-            chip.program_page(addr, pattern).map(CommandResponse::Program)
-        }
+        Command::ProgramPage { addr, pattern } => chip
+            .program_page(addr, pattern)
+            .map(CommandResponse::Program),
         Command::BeginErase { block } => chip.begin_erase(block).map(|()| CommandResponse::Ack),
         Command::EraseLoop { block } => chip.run_erase_loop(block).map(CommandResponse::Loop),
         Command::EndErase { block, loops } => {

@@ -51,7 +51,7 @@ impl EraseCharacteristics {
     /// Samples the intrinsic characteristics of one block from the family's
     /// process-variation distributions.
     pub fn sample(family: &ChipFamily, rng: &mut ChaCha12Rng) -> Self {
-        let dose_offset = gaussian(rng) * family.erase.block_sigma;
+        let dose_offset = truncated_gaussian(rng) * family.erase.block_sigma;
         let reliability_offset = gaussian(rng) * family.reliability.block_sigma;
         let wear_sensitivity = (gaussian(rng) * family.erase.wear_sensitivity_sigma).exp();
         EraseCharacteristics {
@@ -217,6 +217,20 @@ pub fn baseline_equivalent_wear(family: &ChipFamily, pec: u32) -> WearState {
     wear
 }
 
+/// Draws a standard normal variate truncated to ±3σ.
+///
+/// Used for the per-block intrinsic dose offset: process variation on
+/// shipped blocks is physically bounded (outliers are screened out as bad
+/// blocks at manufacturing), which is why the paper observes that *every*
+/// fresh block erases in a single loop (Figure 4, PEC 0) — a guarantee the
+/// family calibration expresses as `base_dose + 3σ < one full loop's dose`.
+/// Clamping (rather than rejection-resampling) keeps the RNG stream
+/// position identical whether or not the tail is hit, so seeded simulations
+/// stay reproducible across model revisions.
+pub(crate) fn truncated_gaussian(rng: &mut ChaCha12Rng) -> f64 {
+    gaussian(rng).clamp(-3.0, 3.0)
+}
+
 /// Draws a standard normal variate using the Box–Muller transform.
 pub(crate) fn gaussian(rng: &mut ChaCha12Rng) -> f64 {
     // Box-Muller with rejection of u1 == 0.
@@ -254,12 +268,18 @@ mod tests {
     #[test]
     fn fresh_block_single_loop() {
         let loops = sample_n_ispe(0, 300);
-        assert!(loops.iter().all(|&n| n == 1), "fresh blocks must erase in a single loop");
+        assert!(
+            loops.iter().all(|&n| n == 1),
+            "fresh blocks must erase in a single loop"
+        );
     }
 
     #[test]
     fn most_blocks_single_loop_at_1k_pec() {
-        let loops = sample_n_ispe(1_000, 500);
+        // 4000 samples: the model's true fraction here is ~0.57, so the
+        // sampling noise (sigma ~0.008) keeps this comfortably inside the
+        // band; at 500 samples the test sat within one sigma of the floor.
+        let loops = sample_n_ispe(1_000, 4_000);
         let single = loops.iter().filter(|&&n| n == 1).count() as f64 / loops.len() as f64;
         // Paper: 76.5% single-loop at 1K PEC. Accept a generous band.
         assert!(
@@ -270,10 +290,13 @@ mod tests {
 
     #[test]
     fn almost_all_blocks_multi_loop_at_2k_pec() {
-        let loops = sample_n_ispe(2_000, 500);
+        let loops = sample_n_ispe(2_000, 4_000);
         let multi = loops.iter().filter(|&&n| n >= 2).count() as f64 / loops.len() as f64;
         assert!(multi > 0.95, "multi-loop fraction at 2K PEC was {multi}");
-        assert!(loops.iter().all(|&n| n <= 4), "at 2K PEC blocks need 2-4 loops");
+        assert!(
+            loops.iter().all(|&n| n <= 4),
+            "at 2K PEC blocks need 2-4 loops"
+        );
     }
 
     #[test]
@@ -281,8 +304,11 @@ mod tests {
         let loops = sample_n_ispe(5_000, 500);
         let max = *loops.iter().max().unwrap();
         let mean = loops.iter().sum::<u32>() as f64 / loops.len() as f64;
-        assert!(max >= 4 && max <= 7, "max loops at 5K PEC was {max}");
-        assert!((3.0..=5.5).contains(&mean), "mean loops at 5K PEC was {mean}");
+        assert!((4..=7).contains(&max), "max loops at 5K PEC was {max}");
+        assert!(
+            (3.0..=5.5).contains(&mean),
+            "mean loops at 5K PEC was {mean}"
+        );
     }
 
     #[test]
@@ -310,7 +336,10 @@ mod tests {
             "mtBERS spread must grow with wear (s0={s0:.2}ms, s3.5K={s35:.2}ms)"
         );
         // The paper reports a std-dev of ~2.7 ms at 3.5K PEC.
-        assert!((1.0..=5.0).contains(&s35), "mtBERS std-dev at 3.5K PEC was {s35:.2}ms");
+        assert!(
+            (1.0..=5.0).contains(&s35),
+            "mtBERS std-dev at 3.5K PEC was {s35:.2}ms"
+        );
     }
 
     #[test]
@@ -351,10 +380,16 @@ mod tests {
     #[test]
     fn block_state_rules() {
         assert!(BlockEraseState::Erased.is_programmable());
-        assert!(BlockEraseState::PartiallyErased { residual_units: 0.4 }.is_programmable());
+        assert!(BlockEraseState::PartiallyErased {
+            residual_units: 0.4
+        }
+        .is_programmable());
         assert!(!BlockEraseState::Programmed.is_programmable());
         assert_eq!(
-            BlockEraseState::PartiallyErased { residual_units: 0.4 }.residual_units(),
+            BlockEraseState::PartiallyErased {
+                residual_units: 0.4
+            }
+            .residual_units(),
             0.4
         );
         assert_eq!(BlockEraseState::Erased.residual_units(), 0.0);
@@ -380,7 +415,10 @@ mod tests {
             .collect();
         sens.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sens[sens.len() / 2];
-        assert!((median - 1.0).abs() < 0.05, "median wear sensitivity {median}");
+        assert!(
+            (median - 1.0).abs() < 0.05,
+            "median wear sensitivity {median}"
+        );
         assert!(sens.iter().all(|&s| s > 0.0));
     }
 

@@ -188,7 +188,10 @@ impl IspeEngine {
     ///
     /// Panics if the scale is not within (0, 1].
     pub fn set_voltage_scale(&mut self, scale: f64) {
-        assert!(scale > 0.0 && scale <= 1.0, "voltage scale must be in (0, 1]");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "voltage scale must be in (0, 1]"
+        );
         self.voltage_scale = scale;
     }
 

@@ -101,7 +101,10 @@ impl fmt::Display for NandError {
             NandError::PageOutOfRange {
                 addr,
                 pages_per_block,
-            } => write!(f, "page address {addr} out of range ({pages_per_block} pages per block)"),
+            } => write!(
+                f,
+                "page address {addr} out of range ({pages_per_block} pages per block)"
+            ),
             NandError::PageNotErased { addr } => {
                 write!(f, "page {addr} was programmed without an intervening erase")
             }

@@ -107,7 +107,10 @@ mod tests {
         // the chosen activation energy (the paper quotes them as equivalent).
         let bake = RetentionSpec::jedec_bake_13h_85c();
         let s = bake.severity();
-        assert!(s > 0.6 && s < 1.6, "bake severity {s} should approximate 1.0");
+        assert!(
+            s > 0.6 && s < 1.6,
+            "bake severity {s} should approximate 1.0"
+        );
     }
 
     #[test]

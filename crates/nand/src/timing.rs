@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 /// let tvr = Micros::from_micros(100);
 /// assert_eq!((tep + tvr).as_micros_f64(), 3600.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Micros(u64);
 
 impl Micros {
@@ -49,7 +51,10 @@ impl Micros {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Micros((ms * 1_000.0 * Self::TICKS_PER_US as f64).round() as u64)
     }
 
@@ -59,7 +64,10 @@ impl Micros {
     ///
     /// Panics if `us` is negative or not finite.
     pub fn from_micros_f64(us: f64) -> Self {
-        assert!(us.is_finite() && us >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Micros((us * Self::TICKS_PER_US as f64).round() as u64)
     }
 
@@ -112,7 +120,10 @@ impl Micros {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale(self, factor: f64) -> Micros {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
         Micros((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -143,7 +154,11 @@ impl AddAssign for Micros {
 impl Sub for Micros {
     type Output = Micros;
     fn sub(self, rhs: Micros) -> Micros {
-        Micros(self.0.checked_sub(rhs.0).expect("duration subtraction underflow"))
+        Micros(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflow"),
+        )
     }
 }
 
@@ -298,7 +313,11 @@ mod tests {
         let t = NandTimings::tlc_3d_default();
         assert!(t.validate_erase_pulse(Micros::from_millis_f64(0.5)).is_ok());
         assert!(t.validate_erase_pulse(Micros::from_millis_f64(3.5)).is_ok());
-        assert!(t.validate_erase_pulse(Micros::from_millis_f64(0.2)).is_err());
-        assert!(t.validate_erase_pulse(Micros::from_millis_f64(4.0)).is_err());
+        assert!(t
+            .validate_erase_pulse(Micros::from_millis_f64(0.2))
+            .is_err());
+        assert!(t
+            .validate_erase_pulse(Micros::from_millis_f64(4.0))
+            .is_err());
     }
 }

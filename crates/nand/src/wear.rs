@@ -36,7 +36,10 @@ impl WearState {
     /// block was already fully erased — over-erasure still damages cells,
     /// which is the inefficiency AERO removes).
     pub fn record_erase(&mut self, dose: f64) {
-        assert!(dose.is_finite() && dose >= 0.0, "erase dose must be non-negative");
+        assert!(
+            dose.is_finite() && dose >= 0.0,
+            "erase dose must be non-negative"
+        );
         self.erase_stress += dose;
         self.pec += 1;
     }

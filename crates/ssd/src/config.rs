@@ -197,6 +197,9 @@ mod tests {
     fn scaled_paper_keeps_organization() {
         let c = SsdConfig::scaled_paper(SchemeKind::Dpes);
         assert_eq!(c.dies(), 16);
-        assert!(c.raw_capacity_bytes() < SsdConfig::paper_default(SchemeKind::Dpes).raw_capacity_bytes());
+        assert!(
+            c.raw_capacity_bytes()
+                < SsdConfig::paper_default(SchemeKind::Dpes).raw_capacity_bytes()
+        );
     }
 }

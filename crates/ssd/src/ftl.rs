@@ -118,7 +118,9 @@ impl DieFtl {
     /// `pages_per_block` pages.
     pub fn new(blocks: u32, pages_per_block: u32) -> Self {
         DieFtl {
-            blocks: (0..blocks).map(|_| BlockInfo::new(pages_per_block)).collect(),
+            blocks: (0..blocks)
+                .map(|_| BlockInfo::new(pages_per_block))
+                .collect(),
             free_blocks: (0..blocks).rev().collect(),
             frontier: None,
             pages_per_block,

@@ -187,7 +187,10 @@ mod tests {
         let trace = spec.generate(10_000, 11);
         assert!((trace.read_ratio() - 0.78).abs() < 0.02);
         let mean_kb = trace.mean_request_bytes() / 1024.0;
-        assert!((mean_kb - 18.0).abs() / 18.0 < 0.25, "mean size {mean_kb} KB");
+        assert!(
+            (mean_kb - 18.0).abs() / 18.0 < 0.25,
+            "mean size {mean_kb} KB"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ use crate::request::{IoOp, IoRequest, Trace};
 ///
 /// Panics if `write_bytes` is zero or not a multiple of 4 KiB.
 pub fn sequential_fill(fill_bytes: u64, write_bytes: u32) -> Trace {
-    assert!(write_bytes > 0 && write_bytes % 4096 == 0, "write size must be a positive multiple of 4 KiB");
+    assert!(
+        write_bytes > 0 && write_bytes.is_multiple_of(4096),
+        "write size must be a positive multiple of 4 KiB"
+    );
     let mut requests = Vec::new();
     let mut offset = 0u64;
     let mut t = 0u64;
@@ -42,7 +45,10 @@ pub fn sequential_fill(fill_bytes: u64, write_bytes: u32) -> Trace {
 /// logical space, to fragment the logical-to-physical mapping after a
 /// sequential fill.
 pub fn random_overwrites(region_bytes: u64, write_bytes: u32, count: usize, seed: u64) -> Trace {
-    assert!(write_bytes > 0 && write_bytes % 4096 == 0, "write size must be a positive multiple of 4 KiB");
+    assert!(
+        write_bytes > 0 && write_bytes.is_multiple_of(4096),
+        "write size must be a positive multiple of 4 KiB"
+    );
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let slots = (region_bytes / write_bytes as u64).max(1);
     let requests = (0..count)

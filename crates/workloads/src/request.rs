@@ -42,7 +42,7 @@ impl IoRequest {
         let start = self.lba * 512;
         let end = start + self.size_bytes as u64;
         let first = start / page_bytes as u64;
-        let last = (end + page_bytes as u64 - 1) / page_bytes as u64;
+        let last = end.div_ceil(page_bytes as u64);
         (last - first).max(1) as u32
     }
 
@@ -110,7 +110,11 @@ impl Trace {
         if self.requests.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| r.size_bytes as f64).sum::<f64>() / self.requests.len() as f64
+        self.requests
+            .iter()
+            .map(|r| r.size_bytes as f64)
+            .sum::<f64>()
+            / self.requests.len() as f64
     }
 
     /// Mean inter-arrival time in nanoseconds.
@@ -134,7 +138,10 @@ impl Trace {
     /// Scales every arrival time by `factor` (e.g. 0.1 for the paper's 10×
     /// acceleration of the MSRC traces).
     pub fn scale_arrival_times(&mut self, factor: f64) {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         for r in &mut self.requests {
             r.arrival_ns = (r.arrival_ns as f64 * factor).round() as u64;
         }
@@ -196,7 +203,10 @@ mod tests {
 
     #[test]
     fn scale_arrival_times_compresses() {
-        let mut t = Trace::new(vec![req(0, IoOp::Read, 0, 4096), req(10_000, IoOp::Read, 8, 4096)]);
+        let mut t = Trace::new(vec![
+            req(0, IoOp::Read, 0, 4096),
+            req(10_000, IoOp::Read, 8, 4096),
+        ]);
         t.scale_arrival_times(0.1);
         assert_eq!(t.requests()[1].arrival_ns, 1_000);
     }

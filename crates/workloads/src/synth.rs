@@ -7,8 +7,8 @@
 //! which is what the AERO evaluation measures.
 
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::request::{IoOp, IoRequest, Trace};
@@ -50,10 +50,22 @@ impl SyntheticWorkload {
     ///
     /// Panics if any field is out of range.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.read_ratio), "read_ratio out of range");
-        assert!(self.mean_request_bytes >= 512.0, "mean request size too small");
-        assert!(self.mean_inter_arrival_ns > 0.0, "inter-arrival time must be positive");
-        assert!(self.footprint_bytes >= 1 << 20, "footprint must be at least 1 MiB");
+        assert!(
+            (0.0..=1.0).contains(&self.read_ratio),
+            "read_ratio out of range"
+        );
+        assert!(
+            self.mean_request_bytes >= 512.0,
+            "mean request size too small"
+        );
+        assert!(
+            self.mean_inter_arrival_ns > 0.0,
+            "inter-arrival time must be positive"
+        );
+        assert!(
+            self.footprint_bytes >= 1 << 20,
+            "footprint must be at least 1 MiB"
+        );
         assert!((0.0..=1.0).contains(&self.hot_access_fraction));
         assert!((0.0..1.0).contains(&self.hot_region_fraction) && self.hot_region_fraction > 0.0);
     }
@@ -119,7 +131,10 @@ mod tests {
             "mean size {mean_size}"
         );
         let mean_iat = trace.mean_inter_arrival_ns();
-        assert!((mean_iat - 50_000.0).abs() / 50_000.0 < 0.1, "mean IAT {mean_iat}");
+        assert!(
+            (mean_iat - 50_000.0).abs() / 50_000.0 < 0.1,
+            "mean IAT {mean_iat}"
+        );
     }
 
     #[test]

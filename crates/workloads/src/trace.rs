@@ -29,7 +29,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -47,7 +51,10 @@ fn parse_line(
     if fields.len() < 6 {
         return Err(ParseTraceError {
             line: line_no,
-            message: format!("expected at least 6 comma-separated fields, got {}", fields.len()),
+            message: format!(
+                "expected at least 6 comma-separated fields, got {}",
+                fields.len()
+            ),
         });
     }
     let err = |message: String| ParseTraceError {

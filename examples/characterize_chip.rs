@@ -3,7 +3,7 @@
 //! the fail-bit count predicts the minimum erase latency, and derive the
 //! Erase-timing Parameter Table from the measurements.
 //!
-//! Run with: `cargo run -p aero-bench --release --example characterize_chip`
+//! Run with: `cargo run --release --example characterize_chip`
 
 use aero_characterize::population::{Population, PopulationConfig};
 use aero_characterize::study;
@@ -38,7 +38,7 @@ fn main() {
 
     // Step 2: prediction accuracy (Figure 8).
     let accuracy = study::felp_accuracy(&population, &[2_000, 3_000, 4_000]);
-    for (&n, _) in &accuracy.observations {
+    for &n in accuracy.observations.keys() {
         let fractions = accuracy.range_fractions(n);
         let best = fractions
             .keys()

@@ -1,7 +1,7 @@
 //! Lifetime: cycle a set of blocks with each erase scheme and watch the
 //! maximum RBER grow (a miniature Figure 13).
 //!
-//! Run with: `cargo run -p aero-bench --release --example lifetime_study`
+//! Run with: `cargo run --release --example lifetime_study`
 
 use aero_characterize::lifetime_study::{run, LifetimeStudyConfig};
 use aero_core::SchemeKind;

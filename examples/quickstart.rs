@@ -5,7 +5,7 @@
 //! show the latency, loop-count, and stress difference on the exact same
 //! block.
 //!
-//! Run with: `cargo run -p aero-bench --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
 use aero_core::{controller::EraseController, scheme::BlockId, Aero, BaselineIspe};
 use aero_nand::{BlockAddr, Chip, ChipConfig, ChipFamily};

@@ -6,7 +6,7 @@
 //! `ali.A` workload (7 % reads, bursty writes) while garbage collection and
 //! erases run underneath.
 //!
-//! Run with: `cargo run -p aero-bench --release --example tail_latency`
+//! Run with: `cargo run --release --example tail_latency`
 
 use aero_core::SchemeKind;
 use aero_ssd::{Ssd, SsdConfig};
@@ -37,11 +37,23 @@ fn main() {
     ] {
         let (name, mut report) = run(scheme);
         let (p999, p9999, p999999) = report.read_latency.tail_percentiles();
-        rows.push((name, report.read_latency.mean(), p999, p9999, p999999, report.erase_stats.mean_latency()));
+        rows.push((
+            name,
+            report.read_latency.mean(),
+            p999,
+            p9999,
+            p999999,
+            report.erase_stats.mean_latency(),
+        ));
     }
     println!(
         "{:<10} {:>14} {:>12} {:>12} {:>12} {:>16}",
-        "scheme", "mean read [us]", "99.9th [us]", "99.99th [us]", "99.9999 [us]", "mean erase [ms]"
+        "scheme",
+        "mean read [us]",
+        "99.9th [us]",
+        "99.99th [us]",
+        "99.9999 [us]",
+        "mean erase [ms]"
     );
     for (name, mean, p999, p9999, p999999, erase) in rows {
         println!(

@@ -29,9 +29,18 @@ fn population() -> Population {
 #[test]
 fn figure4_headline_claims() {
     let dists = study::erase_latency_variation(&population(), &[0, 1_000, 2_000, 3_500]);
-    assert!(dists[0].fraction_within_ms(2.6) > 0.70, "paper: >70% of fresh blocks within 2.5 ms");
-    assert!(dists[1].fraction_with_n_ispe(1) > 0.55, "paper: 76.5% single-loop at 1K PEC");
-    assert!(dists[2].fraction_with_n_ispe(1) < 0.05, "paper: every block needs >=2 loops at 2K PEC");
+    assert!(
+        dists[0].fraction_within_ms(2.6) > 0.70,
+        "paper: >70% of fresh blocks within 2.5 ms"
+    );
+    assert!(
+        dists[1].fraction_with_n_ispe(1) > 0.55,
+        "paper: 76.5% single-loop at 1K PEC"
+    );
+    assert!(
+        dists[2].fraction_with_n_ispe(1) < 0.05,
+        "paper: every block needs >=2 loops at 2K PEC"
+    );
     // Substantial spread across blocks at 3.5K PEC (paper: sigma = 2.7 ms).
     assert!(dists[3].std_dev_ms() > 1.0);
 }
@@ -136,10 +145,22 @@ fn figure13_lifetime_ordering() {
         (4_000..=6_500).contains(&baseline),
         "baseline lifetime {baseline} should be near the paper's 5.3K PEC"
     );
-    assert!(aero > baseline, "AERO ({aero}) must outlive Baseline ({baseline})");
-    assert!(cons > baseline, "AERO_CONS ({cons}) must outlive Baseline ({baseline})");
-    assert!(aero >= cons, "AERO ({aero}) must outlive AERO_CONS ({cons})");
-    assert!(iispe < baseline, "i-ISPE ({iispe}) must underperform Baseline ({baseline})");
+    assert!(
+        aero > baseline,
+        "AERO ({aero}) must outlive Baseline ({baseline})"
+    );
+    assert!(
+        cons > baseline,
+        "AERO_CONS ({cons}) must outlive Baseline ({baseline})"
+    );
+    assert!(
+        aero >= cons,
+        "AERO ({aero}) must outlive AERO_CONS ({cons})"
+    );
+    assert!(
+        iispe < baseline,
+        "i-ISPE ({iispe}) must underperform Baseline ({baseline})"
+    );
     let improvement = aero as f64 / baseline as f64 - 1.0;
     assert!(
         improvement > 0.15,

@@ -1,0 +1,239 @@
+//! Offline stand-in for `criterion`.
+//!
+//! This workspace builds without network access, so the real `criterion`
+//! crate cannot be fetched. This crate implements the criterion API surface
+//! the benches use — [`Criterion`], [`criterion_group!`]/[`criterion_main!`],
+//! `bench_function`, `benchmark_group` (with `sample_size`), `Bencher::iter`,
+//! `Bencher::iter_batched` with [`BatchSize`], and [`black_box`] — backed by
+//! a simple wall-clock measurement loop: each benchmark runs one warm-up
+//! iteration plus `sample_size` timed samples and prints the minimum /
+//! median / maximum sample time. No statistical analysis, HTML reports, or
+//! baseline comparison — but the numbers are honest wall-clock medians, so
+//! relative comparisons between schemes remain meaningful.
+//!
+//! Like real criterion, the harness understands being run by `cargo test`
+//! (any of the `--test` flag or `CRITERION_TEST=1`): it then executes a
+//! single iteration per benchmark so the test suite stays fast while still
+//! proving every bench target runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup per
+/// measured iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batch many per allocation in criterion.
+    SmallInput,
+    /// Large per-iteration inputs; fewer per batch in criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Measures `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, times: &mut [Duration]) {
+    if times.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!(
+        "{id:<40} [{} {} {}]  ({} samples)",
+        format_duration(times[0]),
+        format_duration(median),
+        format_duration(times[times.len() - 1]),
+        times.len(),
+    );
+}
+
+/// Whether the harness was launched by `cargo test` rather than `cargo bench`.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_TEST").is_some()
+}
+
+/// The benchmark driver: collects and runs benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: if test_mode() { 1 } else { 20 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        if !test_mode() {
+            self.sample_size = n;
+        }
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(id, &mut bencher.times);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        if !test_mode() {
+            self.sample_size = Some(n);
+        }
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        report(&format!("  {}", id.into()), &mut bencher.times);
+        self
+    }
+
+    /// Ends the group (printing nothing further in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.times.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher::new(3);
+        let mut built = 0;
+        b.iter_batched(
+            || {
+                built += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(built, 4); // warm-up + 3 samples
+        assert_eq!(b.times.len(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+/// A half-open range of collection lengths.
+///
+/// Mirrors proptest's `SizeRange`: `vec(_, 1..200)` accepts plain `usize`
+/// ranges (the concrete `From` impls steer integer-literal inference to
+/// `usize`, exactly as in the real crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty length range");
+        SizeRange {
+            start: *r.start(),
+            end: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            start: len,
+            end: len + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn uniformly from a [`SizeRange`].
+pub struct VecStrategy<S> {
+    element: S,
+    length: SizeRange,
+}
+
+/// Builds a strategy producing `Vec`s of values from `element`, with a
+/// length sampled from `length` (a `usize` range, inclusive range, or exact
+/// length).
+pub fn vec<S: Strategy>(element: S, length: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        length: length.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut ChaCha12Rng) -> Self::Value {
+        let len = rng.gen_range(self.length.start..self.length.end);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = crate::test_rng("collection::vec_respects_length_range");
+        let strategy = vec((0usize..500, any::<bool>()), 1..200);
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() < 200);
+            assert!(v.iter().all(|&(n, _)| n < 500));
+        }
+    }
+
+    #[test]
+    fn exact_length_is_honoured() {
+        let mut rng = crate::test_rng("collection::exact_length_is_honoured");
+        let strategy = vec(any::<bool>(), 7usize);
+        assert_eq!(strategy.sample(&mut rng).len(), 7);
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for `proptest`.
+//!
+//! This workspace builds without network access, so the real `proptest`
+//! crate cannot be fetched. This crate provides a working property-testing
+//! harness with the subset of the proptest API the test suite uses:
+//!
+//! * the [`proptest!`] macro wrapping `#[test] fn name(arg in strategy, ...)`
+//!   items;
+//! * range strategies (`0.3f64..60.0`, `30u32..=72`), [`prelude::any`],
+//!   tuple strategies, and [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`], which fail the current case
+//!   with a message instead of panicking mid-sample;
+//! * a deterministic runner: each test derives its RNG seed from the test
+//!   name (FNV-1a), so failures reproduce exactly across runs and machines.
+//!
+//! Each property runs [`cases`] random cases (default 128, override with
+//! the `PROPTEST_CASES` environment variable). On failure the harness
+//! panics with the case index, the sampled inputs (`Debug`), and the
+//! assertion message. Shrinking is not implemented — the deterministic seed
+//! makes failures reproducible, which is what CI needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand_chacha::ChaCha12Rng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+/// A failed property case: the message carried by `prop_assert!`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps an assertion message.
+    pub fn new(message: String) -> Self {
+        TestCaseError(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 128).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Deterministic per-test RNG, seeded from the test path via FNV-1a so every
+/// run (and every machine) replays the same case sequence.
+pub fn test_rng(test_name: &str) -> ChaCha12Rng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    <ChaCha12Rng as rand::SeedableRng>::seed_from_u64(hash)
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current property case (with a formatted message) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::new(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current property case unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property-based tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    let inputs = ::std::format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(error) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}:{}\n{}",
+                            stringify!($name), case + 1, cases, inputs, error
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,111 @@
+//! Value-generation strategies: ranges, `any`, and tuples.
+
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+use rand::{Rng, StandardSample};
+use rand_chacha::ChaCha12Rng;
+
+/// A source of random values for one property argument.
+///
+/// Unlike real proptest (whose strategies build shrinkable value trees),
+/// this stand-in samples plain values; determinism of the runner seed makes
+/// failures reproducible without shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut ChaCha12Rng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha12Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha12Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value of `Self`.
+    fn arbitrary(rng: &mut ChaCha12Rng) -> Self;
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut ChaCha12Rng) -> Self {
+                <$t as StandardSample>::standard_sample(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// The canonical strategy for "any value of `T`".
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut ChaCha12Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut ChaCha12Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_rng("strategy::ranges_stay_in_bounds");
+        for _ in 0..1_000 {
+            let x = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&x));
+            let y = (3u32..=7).sample(&mut rng);
+            assert!((3..=7).contains(&y));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = crate::test_rng("strategy::tuples_compose");
+        let (a, b) = (0usize..10, any::<bool>()).sample(&mut rng);
+        assert!(a < 10);
+        let _: bool = b;
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the derive macros
+//! under their usual paths, so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compiles unchanged. The derives are
+//! no-ops (see `serde_derive`); the traits are empty markers. This is enough
+//! for this workspace, which tags config/report types as serializable but
+//! never serializes them yet. Replace the workspace `serde` path dependency
+//! with the real crates.io crate to activate real serialization — no source
+//! changes needed elsewhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not implement it; nothing in this workspace bounds
+/// on it. It exists so `use serde::Serialize` imports a type-namespace item
+/// as well as the derive macro, exactly like the real crate.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// Like [`Serialize`], a name-compatible placeholder: the real trait's `'de`
+/// lifetime parameter is carried so any future explicit bound keeps the same
+/// shape as with the real crate.
+pub trait Deserialize<'de>: Sized {}

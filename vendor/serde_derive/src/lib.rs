@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace is built in an environment without network access, so the
+//! real `serde`/`serde_derive` crates cannot be fetched from crates.io. The
+//! repository only ever uses `#[derive(Serialize, Deserialize)]` as metadata
+//! on plain-old-data config/report types — nothing bounds on the serde
+//! traits or invokes a serializer — so these derives can expand to nothing
+//! without changing any behavior. Swapping the workspace dependency back to
+//! the real crates requires no source change anywhere in the tree.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepted on any item; expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepted on any item; expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
