@@ -1,0 +1,118 @@
+//! Times a fixed quick-scale SSD sweep on 1 thread and on N threads, checks
+//! the outputs are identical, and emits `BENCH_ssd.json` — the repository's
+//! performance-trajectory record (wall-clock, simulated requests/second,
+//! and parallel speedup).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin perf_report [out.json]`
+//!
+//! The parallel pass honors `AERO_THREADS` (default: the machine's available
+//! parallelism); the reference pass always runs on 1 thread. The sweep is
+//! the Table 4 quick-scale grid (3 wear levels × 6 workloads × 5 erase
+//! schemes) with a larger request count per run, sized so the reference
+//! pass takes seconds, not minutes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use aero_bench::system::{run_ssd, RunParams};
+use aero_bench::Scale;
+use aero_core::config::SchemeKind;
+use aero_ssd::RunReport;
+use aero_workloads::catalog::WorkloadId;
+
+/// Requests per sweep job — larger than the quick-scale default so the
+/// timing signal dominates process noise.
+const REQUESTS_PER_JOB: usize = 20_000;
+
+/// The fixed benchmark sweep: the Table 4 quick grid.
+fn sweep_jobs() -> Vec<RunParams> {
+    let workloads = [
+        WorkloadId::AliA,
+        WorkloadId::AliC,
+        WorkloadId::AliE,
+        WorkloadId::Rsrch,
+        WorkloadId::Prxy,
+        WorkloadId::Usr,
+    ];
+    let mut jobs = Vec::new();
+    for pec in [500u32, 2_500, 4_500] {
+        for workload in workloads {
+            for scheme in SchemeKind::all() {
+                let mut params = RunParams::new(scheme, workload, pec, Scale::Quick);
+                params.requests = REQUESTS_PER_JOB;
+                jobs.push(params);
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs the sweep and returns the reports plus the wall-clock in seconds.
+fn timed_sweep() -> (Vec<RunReport>, f64) {
+    let start = Instant::now();
+    let reports = aero_exec::par_map(sweep_jobs(), |params| run_ssd(&params, Scale::Quick));
+    (reports, start.elapsed().as_secs_f64())
+}
+
+/// Order-sensitive digest of everything a report measures, for the
+/// determinism cross-check between the two passes: counts, GC activity,
+/// means, maxima, and the whole percentile ladder of both latency
+/// distributions.
+fn digest(reports: &[RunReport]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for r in reports {
+        r.reads_completed.hash(&mut h);
+        r.writes_completed.hash(&mut h);
+        r.makespan_ns.hash(&mut h);
+        r.gc_invocations.hash(&mut h);
+        r.gc_page_moves.hash(&mut h);
+        r.erase_suspensions.hash(&mut h);
+        for latency in [&r.read_latency, &r.write_latency] {
+            latency.len().hash(&mut h);
+            latency.mean().to_bits().hash(&mut h);
+            latency.max().hash(&mut h);
+            for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 99.99, 99.9999] {
+                latency.percentile(p).hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ssd.json".to_string());
+    let jobs = sweep_jobs().len();
+    let simulated_requests = (jobs * REQUESTS_PER_JOB) as u64;
+    let threads = aero_exec::thread_count();
+
+    eprintln!("perf_report: {jobs} jobs x {REQUESTS_PER_JOB} requests, reference pass (1 thread)");
+    let (reference, wall_1) = {
+        let _guard = aero_exec::override_threads(1);
+        timed_sweep()
+    };
+    eprintln!("perf_report: parallel pass ({threads} threads)");
+    let (parallel, wall_n) = timed_sweep();
+
+    let identical = digest(&reference) == digest(&parallel);
+    let speedup = wall_1 / wall_n.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"ssd_quick_sweep\",\n  \"jobs\": {jobs},\n  \"requests_per_job\": {REQUESTS_PER_JOB},\n  \"simulated_requests\": {simulated_requests},\n  \"threads\": {threads},\n  \"host_available_parallelism\": {hw},\n  \"wall_s_1_thread\": {w1:.3},\n  \"wall_s_n_threads\": {wn:.3},\n  \"requests_per_sec_1_thread\": {r1:.0},\n  \"requests_per_sec_n_threads\": {rn:.0},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {identical}\n}}\n",
+        hw = std::thread::available_parallelism().map_or(1, |n| n.get()),
+        w1 = wall_1,
+        wn = wall_n,
+        r1 = simulated_requests as f64 / wall_1.max(1e-9),
+        rn = simulated_requests as f64 / wall_n.max(1e-9),
+    );
+    // Write the report before enforcing determinism, so a divergence still
+    // leaves an artifact (with "deterministic": false) for CI to upload.
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("perf_report: wrote {out_path}");
+    assert!(
+        identical,
+        "parallel sweep output diverged from the single-thread reference"
+    );
+}

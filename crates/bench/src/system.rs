@@ -4,11 +4,19 @@
 //! simulated SSD under each erase scheme, at several pre-aged wear levels, and
 //! reports latencies normalized to the conventional ISPE baseline — exactly
 //! the quantities the paper's system-level plots show.
+//!
+//! Each (scheme, workload, PEC, sensitivity-axis) combination is one
+//! independent, individually seeded [`run_ssd`] job. The harnesses flatten
+//! their whole sweep into one job grid up front and fan it out with
+//! [`aero_exec::par_map`], then assemble tables from the results in input
+//! order — so the rendered output is byte-identical at any thread count
+//! (`AERO_THREADS=1` is the reference).
 
 use std::collections::BTreeMap;
 
 use aero_characterize::report::{fmt, TextTable};
 use aero_core::config::SchemeKind;
+use aero_exec::par_map;
 use aero_ssd::{RunReport, Ssd, SsdConfig};
 use aero_workloads::catalog::WorkloadId;
 
@@ -51,7 +59,9 @@ impl RunParams {
     }
 }
 
-/// Runs one SSD measurement.
+/// Runs one SSD measurement. A pure function of its parameters: the drive,
+/// its preconditioning, and the replayed trace are all derived from seeds in
+/// `params`, which is what makes sweep jobs independent and parallel-safe.
 pub fn run_ssd(params: &RunParams, scale: Scale) -> RunReport {
     let config = match scale {
         Scale::Quick => SsdConfig::small_test(params.scheme),
@@ -79,6 +89,35 @@ pub fn run_ssd(params: &RunParams, scale: Scale) -> RunReport {
     ssd.run_trace(&trace)
 }
 
+/// A flat job grid run in parallel, consumed one report at a time in job
+/// order. [`SweepReports::next_for`] checks each yielded report against the
+/// cell the caller is rendering, so a mismatch between job-construction
+/// order and consumption order panics instead of silently misattributing
+/// results.
+struct SweepReports {
+    reports: std::vec::IntoIter<(RunParams, RunReport)>,
+}
+
+impl SweepReports {
+    /// Runs every job (in parallel when threads are available).
+    fn run(jobs: Vec<RunParams>, scale: Scale) -> Self {
+        SweepReports {
+            reports: par_map(jobs, move |params| (params, run_ssd(&params, scale))).into_iter(),
+        }
+    }
+
+    /// Yields the next report after asserting its parameters belong to the
+    /// cell being rendered.
+    fn next_for(&mut self, cell: impl FnOnce(&RunParams) -> bool) -> RunReport {
+        let (params, report) = self.reports.next().expect("one report per job");
+        assert!(
+            cell(&params),
+            "job order must match cell order, got {params:?}"
+        );
+        report
+    }
+}
+
 /// Normalized read-tail-latency results for one (workload, PEC) cell of
 /// Figure 14 / Table 4.
 #[derive(Debug, Clone)]
@@ -92,26 +131,27 @@ pub struct SchemeComparison {
 }
 
 impl SchemeComparison {
-    /// Runs the five schemes on one workload/PEC cell.
+    /// Runs the five schemes on one workload/PEC cell (in parallel when
+    /// threads are available).
     pub fn run(workload: WorkloadId, pec: u32, scale: Scale, schemes: &[SchemeKind]) -> Self {
-        let mut reports = BTreeMap::new();
-        for &scheme in schemes {
+        let reports = par_map(schemes.to_vec(), |scheme| {
             let params = RunParams::new(scheme, workload, pec, scale);
-            reports.insert(scheme.label(), run_ssd(&params, scale));
-        }
+            (scheme.label(), run_ssd(&params, scale))
+        });
         SchemeComparison {
             workload,
             pec,
-            reports,
+            reports: reports.into_iter().collect(),
         }
     }
 
     /// Read tail latency of a scheme at a percentile, normalized to Baseline.
     pub fn normalized_read_tail(&self, scheme: &str, percentile: f64) -> f64 {
-        let mut base = self.reports["Baseline"].read_latency.clone();
-        let mut s = self.reports[scheme].read_latency.clone();
-        let b = base.percentile(percentile).max(1);
-        s.percentile(percentile) as f64 / b as f64
+        let b = self.reports["Baseline"]
+            .read_latency
+            .percentile(percentile)
+            .max(1);
+        self.reports[scheme].read_latency.percentile(percentile) as f64 / b as f64
     }
 
     /// Mean latency / IOPS of a scheme normalized to Baseline:
@@ -141,18 +181,56 @@ fn workloads_for(scale: Scale) -> Vec<WorkloadId> {
     }
 }
 
+/// The wear levels the system-level experiments sweep.
+const PECS: [u32; 3] = [500, 2_500, 4_500];
+
+/// Runs the full (PEC × workload × scheme) grid as one flat parallel job
+/// list and groups the reports into per-(PEC, workload) comparisons, in
+/// (PEC-major, workload-minor) order.
+fn comparison_grid(scale: Scale, schemes: &[SchemeKind]) -> Vec<SchemeComparison> {
+    let workloads = workloads_for(scale);
+    let cells: Vec<(u32, WorkloadId)> = PECS
+        .iter()
+        .flat_map(|&pec| workloads.iter().map(move |&w| (pec, w)))
+        .collect();
+    let jobs: Vec<RunParams> = cells
+        .iter()
+        .flat_map(|&(pec, workload)| {
+            schemes
+                .iter()
+                .map(move |&scheme| RunParams::new(scheme, workload, pec, scale))
+        })
+        .collect();
+    let mut reports = SweepReports::run(jobs, scale);
+    cells
+        .into_iter()
+        .map(|(pec, workload)| SchemeComparison {
+            workload,
+            pec,
+            reports: schemes
+                .iter()
+                .map(|&s| {
+                    let report =
+                        reports.next_for(|p| (p.scheme, p.workload, p.pec) == (s, workload, pec));
+                    (s.label(), report)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
 /// Figure 14: 99.99th and 99.9999th percentile read latency per workload and
 /// PEC, normalized to Baseline.
 pub fn fig14(scale: Scale) -> String {
     let schemes = SchemeKind::all();
+    let grid = comparison_grid(scale, &schemes);
     let mut out =
         String::from("Figure 14 — normalized read tail latency (99.99th / 99.9999th percentile)\n");
-    for pec in [500, 2_500, 4_500] {
+    for &pec in &PECS {
         out.push_str(&format!("\nPEC = {pec}\n"));
         let mut table = TextTable::new(vec!["workload", "i-ISPE", "DPES", "AERO_CONS", "AERO"]);
         let mut geo: BTreeMap<&str, (f64, u32)> = BTreeMap::new();
-        for workload in workloads_for(scale) {
-            let cmp = SchemeComparison::run(workload, pec, scale, &schemes);
+        for cmp in grid.iter().filter(|c| c.pec == pec) {
             let cell = |s: &str| {
                 let p4 = cmp.normalized_read_tail(s, 99.99);
                 let p6 = cmp.normalized_read_tail(s, 99.9999);
@@ -191,13 +269,13 @@ pub fn fig14(scale: Scale) -> String {
 /// Table 4: average read/write latency and IOPS normalized to Baseline.
 pub fn table4(scale: Scale) -> String {
     let schemes = SchemeKind::all();
+    let grid = comparison_grid(scale, &schemes);
     let mut out = String::from("Table 4 — average I/O performance normalized to Baseline [%]\n");
-    for pec in [500, 2_500, 4_500] {
+    for &pec in &PECS {
         out.push_str(&format!("\nPEC = {pec}\n"));
         let mut table = TextTable::new(vec!["scheme", "avg read lat", "avg write lat", "IOPS"]);
         let mut sums: BTreeMap<&str, (f64, f64, f64, u32)> = BTreeMap::new();
-        for workload in workloads_for(scale) {
-            let cmp = SchemeComparison::run(workload, pec, scale, &schemes);
+        for cmp in grid.iter().filter(|c| c.pec == pec) {
             for scheme in ["i-ISPE", "DPES", "AERO_CONS", "AERO"] {
                 let (r, w, i) = cmp.normalized_averages(scheme);
                 let e = sums.entry(scheme).or_insert((0.0, 0.0, 0.0, 0));
@@ -229,7 +307,25 @@ pub fn fig15(scale: Scale) -> String {
     );
     let workloads = workloads_for(scale);
     let schemes = [SchemeKind::Baseline, SchemeKind::AeroCons, SchemeKind::Aero];
-    for pec in [500, 2_500, 4_500] {
+    // One flat job grid over (PEC, suspension, scheme, workload), in the
+    // same nested order the tables are rendered in.
+    let jobs: Vec<RunParams> = PECS
+        .iter()
+        .flat_map(|&pec| {
+            let workloads = &workloads;
+            [false, true].into_iter().flat_map(move |suspension| {
+                schemes.into_iter().flat_map(move |scheme| {
+                    workloads.iter().map(move |&workload| {
+                        let mut params = RunParams::new(scheme, workload, pec, scale);
+                        params.erase_suspension = suspension;
+                        params
+                    })
+                })
+            })
+        })
+        .collect();
+    let mut reports = SweepReports::run(jobs, scale);
+    for &pec in &PECS {
         out.push_str(&format!("\nPEC = {pec}\n"));
         let mut table = TextTable::new(vec![
             "scheme",
@@ -244,10 +340,10 @@ pub fn fig15(scale: Scale) -> String {
             for &scheme in &schemes {
                 let mut sums = [0.0f64; 3];
                 let mut count = 0u32;
-                for &workload in &workloads {
-                    let mut params = RunParams::new(scheme, workload, pec, scale);
-                    params.erase_suspension = suspension;
-                    let mut report = run_ssd(&params, scale);
+                for _ in &workloads {
+                    let report = reports.next_for(|p| {
+                        (p.pec, p.erase_suspension, p.scheme) == (pec, suspension, scheme)
+                    });
                     let (p3, p4, p6) = report.read_latency.tail_percentiles();
                     sums[0] += (p3.max(1)) as f64;
                     sums[1] += (p4.max(1)) as f64;
@@ -280,26 +376,62 @@ pub fn fig16(scale: Scale) -> String {
         "Figure 16 — impact of the misprediction rate on AERO's read tail latency (normalized to Baseline)\n",
     );
     let workloads = workloads_for(scale);
-    for pec in [500, 2_500, 4_500] {
+    let rates = [0.0, 0.01, 0.05, 0.10, 0.20];
+    let schemes = [SchemeKind::AeroCons, SchemeKind::Aero];
+    // The Baseline reference depends only on (PEC, workload); run it once
+    // per cell instead of once per (rate, scheme, workload) as the ratios
+    // reuse the same deterministic report either way.
+    let base_cells: Vec<(u32, WorkloadId)> = PECS
+        .iter()
+        .flat_map(|&pec| workloads.iter().map(move |&w| (pec, w)))
+        .collect();
+    let base_reports = par_map(base_cells.clone(), |(pec, workload)| {
+        run_ssd(
+            &RunParams::new(SchemeKind::Baseline, workload, pec, scale),
+            scale,
+        )
+    });
+    let baseline_tail = |pec: u32, workload: WorkloadId| -> f64 {
+        let idx = base_cells
+            .iter()
+            .position(|&(p, w)| p == pec && w == workload)
+            .expect("baseline cell exists");
+        base_reports[idx].read_latency.percentile(99.9999).max(1) as f64
+    };
+    let jobs: Vec<RunParams> = PECS
+        .iter()
+        .flat_map(|&pec| {
+            let workloads = &workloads;
+            rates.into_iter().flat_map(move |rate| {
+                schemes.into_iter().flat_map(move |scheme| {
+                    workloads.iter().map(move |&workload| {
+                        let mut params = RunParams::new(scheme, workload, pec, scale);
+                        params.misprediction_rate = rate;
+                        params
+                    })
+                })
+            })
+        })
+        .collect();
+    let mut reports = SweepReports::run(jobs, scale);
+    for &pec in &PECS {
         out.push_str(&format!("\nPEC = {pec}\n"));
         let mut table = TextTable::new(vec![
             "misprediction rate",
             "AERO_CONS 99.9999th",
             "AERO 99.9999th",
         ]);
-        for rate in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        for rate in rates {
             let mut cells = Vec::new();
-            for scheme in [SchemeKind::AeroCons, SchemeKind::Aero] {
+            for scheme in schemes {
                 let mut ratio_sum = 0.0;
                 let mut count = 0u32;
                 for &workload in &workloads {
-                    let mut params = RunParams::new(scheme, workload, pec, scale);
-                    params.misprediction_rate = rate;
-                    let mut report = run_ssd(&params, scale);
-                    let base_params = RunParams::new(SchemeKind::Baseline, workload, pec, scale);
-                    let mut base = run_ssd(&base_params, scale);
+                    let report = reports.next_for(|p| {
+                        (p.pec, p.misprediction_rate, p.scheme) == (pec, rate, scheme)
+                    });
                     ratio_sum += report.read_latency.percentile(99.9999).max(1) as f64
-                        / base.read_latency.percentile(99.9999).max(1) as f64;
+                        / baseline_tail(pec, workload);
                     count += 1;
                 }
                 cells.push(fmt(ratio_sum / count as f64, 2));
@@ -321,6 +453,27 @@ pub fn fig17(scale: Scale) -> String {
         "Figure 17 — impact of the RBER requirement on AERO (lifetime and read tail latency)\n",
     );
     // Lifetime part: rerun the Figure 13 study with weaker requirements.
+    // One job per (requirement, scheme).
+    let requirements = [40.0, 50.0, 63.0];
+    let lifetime_schemes = [SchemeKind::Baseline, SchemeKind::AeroCons, SchemeKind::Aero];
+    let lifetime_jobs: Vec<(f64, SchemeKind)> = requirements
+        .iter()
+        .flat_map(|&r| lifetime_schemes.iter().map(move |&s| (r, s)))
+        .collect();
+    let study_config = |requirement: f64| aero_characterize::lifetime_study::LifetimeStudyConfig {
+        blocks_per_scheme: scale.lifetime_blocks().min(16),
+        max_pec: scale.pick(6_500, 8_000),
+        sample_every: 500,
+        requirement,
+        ..aero_characterize::lifetime_study::LifetimeStudyConfig::paper_default()
+    };
+    let mut lifetimes = par_map(lifetime_jobs, |(requirement, scheme)| {
+        (
+            requirement,
+            aero_characterize::lifetime_study::run_scheme(&study_config(requirement), scheme),
+        )
+    })
+    .into_iter();
     let mut table = TextTable::new(vec![
         "requirement [bits/KiB]",
         "Baseline life",
@@ -328,19 +481,22 @@ pub fn fig17(scale: Scale) -> String {
         "AERO life",
         "AERO vs CONS",
     ]);
-    for requirement in [40.0, 50.0, 63.0] {
-        let config = aero_characterize::lifetime_study::LifetimeStudyConfig {
-            blocks_per_scheme: scale.lifetime_blocks().min(16),
-            max_pec: scale.pick(6_500, 8_000),
-            sample_every: 500,
-            requirement,
-            ..aero_characterize::lifetime_study::LifetimeStudyConfig::paper_default()
+    for requirement in requirements {
+        let max_pec = study_config(requirement).max_pec;
+        let mut next_scheme = |expected: SchemeKind| {
+            let (job_requirement, lifetime) = lifetimes.next().expect("one result per job");
+            assert_eq!(
+                (job_requirement, lifetime.scheme),
+                (requirement, expected),
+                "job order must match cell order"
+            );
+            lifetime
         };
-        let base = aero_characterize::lifetime_study::run_scheme(&config, SchemeKind::Baseline);
-        let cons = aero_characterize::lifetime_study::run_scheme(&config, SchemeKind::AeroCons);
-        let aero = aero_characterize::lifetime_study::run_scheme(&config, SchemeKind::Aero);
+        let base = next_scheme(SchemeKind::Baseline);
+        let cons = next_scheme(SchemeKind::AeroCons);
+        let aero = next_scheme(SchemeKind::Aero);
         let life = |s: &aero_characterize::lifetime_study::SchemeLifetime| {
-            s.lifetime_pec.unwrap_or(config.max_pec)
+            s.lifetime_pec.unwrap_or(max_pec)
         };
         table.row(vec![
             format!("{requirement:.0}"),
@@ -352,23 +508,40 @@ pub fn fig17(scale: Scale) -> String {
     }
     out.push_str(&table.render());
 
-    // Tail-latency part at 2.5K PEC across requirements.
+    // Tail-latency part at 2.5K PEC across requirements. The Baseline
+    // reference depends only on the workload; run it once per workload.
+    let workloads = workloads_for(scale);
+    let base_reports = par_map(workloads.clone(), |workload| {
+        run_ssd(
+            &RunParams::new(SchemeKind::Baseline, workload, 2_500, scale),
+            scale,
+        )
+    });
+    let latency_requirements = [40u32, 50, 63];
+    let latency_jobs: Vec<RunParams> = latency_requirements
+        .iter()
+        .flat_map(|&requirement| {
+            workloads.iter().map(move |&workload| {
+                let mut params = RunParams::new(SchemeKind::Aero, workload, 2_500, scale);
+                params.rber_requirement = requirement;
+                params
+            })
+        })
+        .collect();
+    let mut reports = SweepReports::run(latency_jobs, scale);
     let mut latency_table = TextTable::new(vec![
         "requirement [bits/KiB]",
         "AERO 99.99th (norm.)",
         "AERO 99.9999th (norm.)",
     ]);
-    let workloads = workloads_for(scale);
-    for requirement in [40u32, 50, 63] {
+    for requirement in latency_requirements {
         let mut p4 = 0.0;
         let mut p6 = 0.0;
         let mut count = 0u32;
-        for &workload in &workloads {
-            let mut params = RunParams::new(SchemeKind::Aero, workload, 2_500, scale);
-            params.rber_requirement = requirement;
-            let mut report = run_ssd(&params, scale);
-            let base_params = RunParams::new(SchemeKind::Baseline, workload, 2_500, scale);
-            let mut base = run_ssd(&base_params, scale);
+        for (i, &workload) in workloads.iter().enumerate() {
+            let report =
+                reports.next_for(|p| (p.rber_requirement, p.workload) == (requirement, workload));
+            let base = &base_reports[i];
             p4 += report.read_latency.percentile(99.99).max(1) as f64
                 / base.read_latency.percentile(99.99).max(1) as f64;
             p6 += report.read_latency.percentile(99.9999).max(1) as f64

@@ -126,12 +126,14 @@ fn study_geometry(blocks: u32) -> ChipGeometry {
     }
 }
 
-/// Runs the Figure 13 experiment for every scheme.
+/// Runs the Figure 13 experiment for every scheme. Each scheme cycles its
+/// own chip model from the same seed, so the schemes are independent jobs
+/// and run in parallel when threads are available; the result is identical
+/// at any thread count.
 pub fn run(config: &LifetimeStudyConfig) -> LifetimeStudy {
-    let schemes = SchemeKind::all()
-        .into_iter()
-        .map(|kind| run_scheme(config, kind))
-        .collect();
+    let schemes = aero_exec::par_map(SchemeKind::all().into_iter().collect(), |kind| {
+        run_scheme(config, kind)
+    });
     LifetimeStudy {
         schemes,
         config: config.clone(),

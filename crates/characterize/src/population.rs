@@ -6,6 +6,12 @@
 //! characteristics of one block, from which the studies can derive required
 //! erase doses, fail-bit traces, and RBER values at any P/E-cycle count
 //! without simulating every intervening cycle.
+//!
+//! Sampling and every downstream study are organized as **per-chip jobs**:
+//! each (study, P/E-count, chip) combination derives its own RNG from the
+//! population seed via [`Population::job_rng`], so the jobs are independent
+//! and can run on any number of threads (via [`aero_exec::par_map`]) while
+//! producing bit-identical results.
 
 use aero_nand::chip_family::ChipFamily;
 use aero_nand::erase::characteristics::{
@@ -119,20 +125,38 @@ pub struct Population {
     blocks: Vec<BlockSample>,
 }
 
+/// Derives a well-mixed 64-bit seed from a base seed, a per-study salt, and
+/// two job coordinates (splitmix64-style finalizer). Used to give every
+/// (study, PEC, chip) job its own independent RNG stream.
+pub(crate) fn mix_seed(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    let mut h = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = h.wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    h = h.wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    h ^ (h >> 32)
+}
+
+/// Salt of the RNG stream used by [`Population::generate`].
+const SALT_GENERATE: u64 = 0x01;
+
 impl Population {
-    /// Samples a population from its configuration.
+    /// Samples a population from its configuration. Chips are sampled as
+    /// independent seeded jobs (in parallel when threads are available); the
+    /// result depends only on the configuration, never on the thread count.
     pub fn generate(config: PopulationConfig) -> Self {
-        let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
-        let mut blocks = Vec::with_capacity((config.chips * config.blocks_per_chip) as usize);
-        for chip in 0..config.chips {
-            for block in 0..config.blocks_per_chip {
-                blocks.push(BlockSample {
+        let per_chip = aero_exec::par_map((0..config.chips).collect(), |chip| {
+            let mut rng =
+                ChaCha12Rng::seed_from_u64(mix_seed(config.seed, SALT_GENERATE, chip as u64, 0));
+            (0..config.blocks_per_chip)
+                .map(|block| BlockSample {
                     chip,
                     block,
                     characteristics: EraseCharacteristics::sample(&config.family, &mut rng),
-                });
-            }
-        }
+                })
+                .collect::<Vec<_>>()
+        });
+        let blocks = per_chip.into_iter().flatten().collect();
         Population { config, blocks }
     }
 
@@ -156,6 +180,36 @@ impl Population {
         &self.blocks
     }
 
+    /// Number of chips in the population.
+    pub fn chips(&self) -> u32 {
+        self.config.chips
+    }
+
+    /// The blocks of one chip (a contiguous slice, in block order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    pub fn chip_blocks(&self, chip: u32) -> &[BlockSample] {
+        assert!(chip < self.config.chips, "chip index out of range");
+        let per_chip = self.config.blocks_per_chip as usize;
+        let start = chip as usize * per_chip;
+        &self.blocks[start..start + per_chip]
+    }
+
+    /// A deterministic RNG for one (study, PEC, chip) job, derived from the
+    /// population seed. Jobs seeded this way are independent of each other
+    /// and of the execution order, which is what lets the studies fan out
+    /// across threads without changing their output.
+    pub fn job_rng(&self, salt: u64, pec: u32, chip: u32) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(mix_seed(
+            self.config.seed,
+            salt,
+            pec as u64 + 1,
+            chip as u64 + 1,
+        ))
+    }
+
     /// Number of sampled blocks.
     pub fn len(&self) -> usize {
         self.blocks.len()
@@ -164,12 +218,6 @@ impl Population {
     /// True if the population is empty.
     pub fn is_empty(&self) -> bool {
         self.blocks.is_empty()
-    }
-
-    /// A deterministic RNG derived from the population seed, for studies that
-    /// need operation-level sampling.
-    pub fn rng(&self) -> ChaCha12Rng {
-        ChaCha12Rng::seed_from_u64(self.config.seed ^ 0x5EED)
     }
 }
 
@@ -205,6 +253,33 @@ mod tests {
         assert!(
             b.m_rber_at(family, 3_000, 0.0, RetentionSpec::one_year_30c())
                 > b.m_rber_at(family, 0, 0.0, RetentionSpec::one_year_30c())
+        );
+    }
+
+    #[test]
+    fn chip_blocks_partition_the_population_and_jobs_get_distinct_streams() {
+        use rand::RngCore;
+        let pop = Population::generate(PopulationConfig::small(ChipFamily::tlc_3d_48l()));
+        let mut total = 0;
+        for chip in 0..pop.chips() {
+            let blocks = pop.chip_blocks(chip);
+            assert!(blocks.iter().all(|b| b.chip == chip));
+            total += blocks.len();
+        }
+        assert_eq!(total, pop.len());
+        // The same job always gets the same stream; different coordinates or
+        // salts get different ones.
+        assert_eq!(
+            pop.job_rng(1, 100, 2).next_u64(),
+            pop.job_rng(1, 100, 2).next_u64()
+        );
+        assert_ne!(
+            pop.job_rng(1, 100, 2).next_u64(),
+            pop.job_rng(1, 100, 3).next_u64()
+        );
+        assert_ne!(
+            pop.job_rng(1, 100, 2).next_u64(),
+            pop.job_rng(2, 100, 2).next_u64()
         );
     }
 

@@ -1,13 +1,58 @@
 //! Latency recording and tail-percentile computation.
+//!
+//! [`LatencyRecorder`] is written to on the simulator's hot path (one
+//! `record` per completed request) and read at report time. Recording is an
+//! O(1) append that also maintains a running sum and maximum, so [`mean`]
+//! and [`max`] never rescan the samples and merging recorders at a sweep
+//! join is a cheap concatenation. Percentile queries sort lazily into an
+//! interior cache, which keeps the read-side API on `&self` — reports and
+//! comparisons no longer need to clone whole sample vectors just to rank
+//! them.
+//!
+//! [`mean`]: LatencyRecorder::mean
+//! [`max`]: LatencyRecorder::max
+
+use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
 /// Records per-request latencies (in nanoseconds) and computes percentiles.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct LatencyRecorder {
+    /// Samples in recording order.
     samples: Vec<u64>,
-    sorted: bool,
+    /// Running sum of all samples, for O(1) means.
+    sum_ns: u64,
+    /// Running maximum, for O(1) max queries.
+    max_ns: u64,
+    /// Lazily rebuilt sorted copy of `samples`. Valid iff its length matches
+    /// `samples` (samples are only ever appended, never removed). Interior
+    /// mutability keeps percentile queries on `&self`; `RefCell` makes the
+    /// recorder `!Sync`, so the compiler still rules out cross-thread races
+    /// on the cache.
+    sorted_cache: RefCell<Vec<u64>>,
 }
+
+impl Clone for LatencyRecorder {
+    fn clone(&self) -> Self {
+        LatencyRecorder {
+            samples: self.samples.clone(),
+            sum_ns: self.sum_ns,
+            max_ns: self.max_ns,
+            sorted_cache: RefCell::new(self.sorted_cache.borrow().clone()),
+        }
+    }
+}
+
+/// Equality is over the recorded samples (and therefore the derived sum and
+/// max); the interior sort cache is invisible.
+impl PartialEq for LatencyRecorder {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
+}
+
+impl Eq for LatencyRecorder {}
 
 impl LatencyRecorder {
     /// Creates an empty recorder.
@@ -18,7 +63,8 @@ impl LatencyRecorder {
     /// Records one latency sample.
     pub fn record(&mut self, latency_ns: u64) {
         self.samples.push(latency_ns);
-        self.sorted = false;
+        self.sum_ns += latency_ns;
+        self.max_ns = self.max_ns.max(latency_ns);
     }
 
     /// Number of samples recorded.
@@ -31,23 +77,20 @@ impl LatencyRecorder {
         self.samples.is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-    }
-
     /// The `p`-th percentile (0 < p ≤ 100) using nearest-rank interpolation.
     /// Returns 0 for an empty recorder.
-    pub fn percentile(&mut self, p: f64) -> u64 {
+    pub fn percentile(&self, p: f64) -> u64 {
         assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
         if self.samples.is_empty() {
             return 0;
         }
-        self.ensure_sorted();
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.clamp(1, self.samples.len()) - 1]
+        let mut cache = self.sorted_cache.borrow_mut();
+        if cache.len() != self.samples.len() {
+            cache.clone_from(&self.samples);
+            cache.sort_unstable();
+        }
+        let rank = ((p / 100.0) * cache.len() as f64).ceil() as usize;
+        cache[rank.clamp(1, cache.len()) - 1]
     }
 
     /// Mean latency in nanoseconds (0 for an empty recorder).
@@ -55,18 +98,18 @@ impl LatencyRecorder {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|&x| x as f64).sum::<f64>() / self.samples.len() as f64
+        self.sum_ns as f64 / self.samples.len() as f64
     }
 
     /// Maximum latency observed (0 for an empty recorder).
     pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.max_ns
     }
 
     /// The tail percentiles the paper reports: (99.9th, 99.99th, 99.9999th).
     /// With fewer samples than a percentile resolves, the value saturates to
     /// the maximum observed latency.
-    pub fn tail_percentiles(&mut self) -> (u64, u64, u64) {
+    pub fn tail_percentiles(&self) -> (u64, u64, u64) {
         (
             self.percentile(99.9),
             self.percentile(99.99),
@@ -77,7 +120,8 @@ impl LatencyRecorder {
     /// Merges another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
     }
 }
 
@@ -113,7 +157,7 @@ mod tests {
 
     #[test]
     fn empty_recorder_is_zero() {
-        let mut r = LatencyRecorder::new();
+        let r = LatencyRecorder::new();
         assert!(r.is_empty());
         assert_eq!(r.percentile(99.0), 0);
         assert_eq!(r.mean(), 0.0);
@@ -129,6 +173,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.max(), 20);
+        assert!((a.mean() - 15.0).abs() < 1e-9);
     }
 
     #[test]
@@ -147,5 +192,33 @@ mod tests {
         }
         assert_eq!(r.percentile(50.0), 5);
         assert_eq!(r.percentile(100.0), 9);
+    }
+
+    #[test]
+    fn recording_after_a_query_invalidates_the_cache() {
+        let mut r = LatencyRecorder::new();
+        r.record(100);
+        assert_eq!(r.percentile(100.0), 100);
+        r.record(900);
+        r.record(50);
+        assert_eq!(r.percentile(100.0), 900);
+        assert_eq!(r.percentile(50.0), 100);
+        assert_eq!(r.max(), 900);
+    }
+
+    #[test]
+    fn clone_and_equality_track_samples_only() {
+        let mut a = LatencyRecorder::new();
+        a.record(7);
+        a.record(3);
+        let b = a.clone();
+        assert_eq!(a, b);
+        // Querying one side's percentile (building its cache) must not
+        // affect equality.
+        let _ = b.percentile(50.0);
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.record(1);
+        assert_ne!(a, c);
     }
 }

@@ -13,6 +13,15 @@
 //! drive-wide [`EraseController`] and its configured scheme, so erase
 //! latencies, wear, and reliability all come from the device model rather
 //! than fixed constants.
+//!
+//! Hot-path notes: arrivals are consumed through a pre-sorted index (one
+//! O(n log n) sort per trace) instead of being pushed through the event
+//! heap, so the heap only ever holds at most one die-idle event per die; the
+//! per-die program-latency scale is cached and refreshed only when wear
+//! actually changes (an erase or preconditioning) rather than being derived
+//! from a wear query on every page write; and an in-flight erase walks a
+//! cursor over its decided loop latencies instead of draining a
+//! per-job `VecDeque`.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -46,13 +55,24 @@ struct GcMove {
     page: u32,
 }
 
-/// An erase whose per-loop latencies have been decided by the erase scheme
-/// and now need to be paid in simulated time.
+/// The (at most one) erase in flight on a die. Loop latencies are decided
+/// once when the erase is dispatched and then consumed through `next_loop`;
+/// no per-loop queue mutation is needed.
 #[derive(Debug, Clone)]
 struct EraseJob {
     block: u32,
-    loop_latencies: VecDeque<u64>,
+    loop_latencies: Vec<u64>,
+    /// Index of the next loop latency to pay.
+    next_loop: usize,
+    /// Whether the erase scheme has run and `loop_latencies` is populated.
     started: bool,
+}
+
+impl EraseJob {
+    /// True while decided loops remain to be paid in simulated time.
+    fn in_flight(&self) -> bool {
+        self.started && self.next_loop < self.loop_latencies.len()
+    }
 }
 
 /// Per-die simulator state.
@@ -66,14 +86,12 @@ struct Die {
     user_reads: VecDeque<PageTxn>,
     user_writes: VecDeque<PageTxn>,
     gc_moves: VecDeque<GcMove>,
-    erase_jobs: VecDeque<EraseJob>,
+    erase_job: Option<EraseJob>,
     gc_in_progress: bool,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
-    Arrival(usize),
-    DieIdle(usize),
+    /// Cached `scheme.program_latency_scale(average_pec)`, clamped to ≥ 1.
+    /// Refreshed whenever the die's wear changes (erase, preconditioning);
+    /// between those points it is constant, so page writes never query wear.
+    program_scale: f64,
 }
 
 /// Per-request completion tracking.
@@ -117,8 +135,9 @@ impl Ssd {
                 user_reads: VecDeque::new(),
                 user_writes: VecDeque::new(),
                 gc_moves: VecDeque::new(),
-                erase_jobs: VecDeque::new(),
+                erase_job: None,
                 gc_in_progress: false,
+                program_scale: 1.0,
             })
             .collect();
         let ecc = EccConfig::paper_default().with_requirement(config.rber_requirement.min(72));
@@ -140,7 +159,7 @@ impl Ssd {
             };
         }
         let logical_pages = config.logical_pages();
-        Ssd {
+        let mut ssd = Ssd {
             config,
             mapping: PageMapping::new(logical_pages),
             dies,
@@ -150,7 +169,11 @@ impl Ssd {
             gc_page_moves: 0,
             erase_suspensions: 0,
             user_pages_written: 0,
+        };
+        for die_idx in 0..ssd.dies.len() {
+            ssd.refresh_program_scale(die_idx);
         }
+        ssd
     }
 
     /// The drive's configuration.
@@ -173,6 +196,9 @@ impl Ssd {
                     .precondition_block(addr, pec)
                     .expect("block address from geometry iterator is valid");
             }
+        }
+        for die_idx in 0..self.dies.len() {
+            self.refresh_program_scale(die_idx);
         }
     }
 
@@ -209,10 +235,16 @@ impl Ssd {
             })
             .collect();
 
-        let mut events: BinaryHeap<Reverse<(u64, Event)>> = BinaryHeap::new();
-        for (i, r) in trace.iter().enumerate() {
-            events.push(Reverse((r.arrival_ns, Event::Arrival(i))));
-        }
+        // Arrivals are consumed in time order through this index — one sort
+        // up front instead of heaping and unheaping every request. Ties keep
+        // trace order (stable sort), matching the former heap's
+        // (time, index) ordering.
+        let mut arrival_order: Vec<usize> = (0..trace.requests().len()).collect();
+        arrival_order.sort_by_key(|&i| trace.requests()[i].arrival_ns);
+        let mut next_arrival = 0usize;
+        // The event heap then only ever holds die-idle events: at most one
+        // per die, deduplicated by `idle_event_pending`.
+        let mut events: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
 
         let mut report = RunReport {
             scheme: self.config.scheme.label().to_string(),
@@ -220,9 +252,22 @@ impl Ssd {
         };
         let baseline_erase_ops = self.controller.stats().operations;
 
-        while let Some(Reverse((now, event))) = events.pop() {
-            match event {
-                Event::Arrival(index) => {
+        loop {
+            let arrival = arrival_order
+                .get(next_arrival)
+                .map(|&i| (trace.requests()[i].arrival_ns, i));
+            let die_event = events.peek().map(|&Reverse(key)| key);
+            // Arrivals win ties, as with the former combined event heap.
+            let take_arrival = match (arrival, die_event) {
+                (Some((at, _)), Some((die_at, _))) => at <= die_at,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let (now, index) = arrival.expect("take_arrival implies an arrival exists");
+                {
+                    next_arrival += 1;
                     let request = trace.requests()[index];
                     let pages = request.page_count(page_bytes);
                     let first_page = request.first_page(page_bytes);
@@ -251,10 +296,11 @@ impl Ssd {
                         self.kick_die(die_idx, now, &mut events);
                     }
                 }
-                Event::DieIdle(die_idx) => {
-                    self.dies[die_idx].idle_event_pending = false;
-                    self.dispatch(die_idx, now, &mut events, &mut requests, &mut report);
-                }
+            } else {
+                let (now, die_idx) = die_event.expect("no arrival taken implies a die event");
+                events.pop();
+                self.dies[die_idx].idle_event_pending = false;
+                self.dispatch(die_idx, now, &mut events, &mut requests);
             }
         }
 
@@ -303,13 +349,13 @@ impl Ssd {
         &mut self,
         die_idx: usize,
         now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
     ) {
         let die = &mut self.dies[die_idx];
         if !die.idle_event_pending {
             let at = now.max(die.busy_until);
             die.idle_event_pending = true;
-            events.push(Reverse((at, Event::DieIdle(die_idx))));
+            events.push(Reverse((at, die_idx)));
         }
     }
 
@@ -319,10 +365,6 @@ impl Ssd {
     /// space (caller must free space first).
     fn place_write(&mut self, die_idx: usize, lpn: u64) -> Option<Ppa> {
         let pages_per_block = self.config.family.geometry.pages_per_block;
-        let program_scale = self
-            .controller
-            .scheme()
-            .program_latency_scale(self.average_pec(die_idx));
         let die = &mut self.dies[die_idx];
         let (block, page, _) = die.ftl.allocate_page()?;
         let ppa = Ppa {
@@ -331,7 +373,6 @@ impl Ssd {
             page,
         };
         die.p2l[(block * pages_per_block + page) as usize] = lpn;
-        die.chip.set_program_latency_scale(program_scale.max(1.0));
         let addr = self.config.family.geometry.block_addr(block as usize);
         die.chip
             .program_page(PageAddr::new(addr, page), DataPattern::Randomized)
@@ -356,10 +397,24 @@ impl Ssd {
             .unwrap_or(0)
     }
 
+    /// Recomputes the die's cached program-latency scale from its current
+    /// wear and pushes it into the chip model. Called whenever wear changes
+    /// (an erase completes, or blocks are preconditioned); page writes then
+    /// read the cached value instead of re-deriving it.
+    fn refresh_program_scale(&mut self, die_idx: usize) {
+        let scale = self
+            .controller
+            .scheme()
+            .program_latency_scale(self.average_pec(die_idx))
+            .max(1.0);
+        let die = &mut self.dies[die_idx];
+        die.program_scale = scale;
+        die.chip.set_program_latency_scale(scale);
+    }
+
     /// Starts garbage collection on a die if it is running low on free blocks.
     fn maybe_start_gc(&mut self, die_idx: usize) {
         let threshold = self.config.gc_threshold_free_blocks;
-        let pages_per_block = self.config.family.geometry.pages_per_block;
         let die = &mut self.dies[die_idx];
         if die.gc_in_progress || die.ftl.free_block_count() > threshold {
             return;
@@ -370,53 +425,52 @@ impl Ssd {
         die.gc_in_progress = true;
         self.gc_invocations += 1;
         die.ftl.start_collecting(victim);
-        let valid: Vec<u32> = die.ftl.block(victim).valid_page_indices().collect();
-        for page in &valid {
+        for page in die.ftl.block(victim).valid_page_indices() {
             die.gc_moves.push_back(GcMove {
                 victim_block: victim,
-                page: *page,
+                page,
             });
         }
-        let _ = pages_per_block;
         // The erase decision (scheme, loop latencies) is made when the erase
         // job is dispatched, so it sees the block's wear at that point.
-        die.erase_jobs.push_back(EraseJob {
+        die.erase_job = Some(EraseJob {
             block: victim,
-            loop_latencies: VecDeque::new(),
+            loop_latencies: Vec::new(),
+            next_loop: 0,
             started: false,
         });
     }
 
     /// Runs the erase scheme for a block and returns the per-loop latencies to
     /// pay in simulated time.
-    fn decide_erase(&mut self, die_idx: usize, block: u32) -> VecDeque<u64> {
+    fn decide_erase(&mut self, die_idx: usize, block: u32) -> Vec<u64> {
         let blocks_per_die = self.config.family.geometry.total_blocks() as usize;
         let addr = self.config.family.geometry.block_addr(block as usize);
         let block_id = BlockId(die_idx * blocks_per_die + block as usize);
         let die = &mut self.dies[die_idx];
         die.ftl.start_erasing(block);
-        let mut latencies: VecDeque<u64> =
-            match self.controller.erase(&mut die.chip, addr, block_id) {
-                Ok(exec) => exec
-                    .report
-                    .loops
-                    .iter()
-                    .map(|l| l.latency.as_nanos())
-                    .collect(),
-                Err(_) => {
-                    // The block exhausted the chip's loop budget (end of life); it
-                    // still spent the full budget's worth of time on the die.
-                    let loop_ns = self.config.family.timings.erase_loop().as_nanos();
-                    (0..self.config.family.erase.max_loops)
-                        .map(|_| loop_ns)
-                        .collect()
-                }
-            };
+        let mut latencies: Vec<u64> = match self.controller.erase(&mut die.chip, addr, block_id) {
+            Ok(exec) => exec
+                .report
+                .loops
+                .iter()
+                .map(|l| l.latency.as_nanos())
+                .collect(),
+            Err(_) => {
+                // The block exhausted the chip's loop budget (end of life); it
+                // still spent the full budget's worth of time on the die.
+                let loop_ns = self.config.family.timings.erase_loop().as_nanos();
+                vec![loop_ns; self.config.family.erase.max_loops as usize]
+            }
+        };
         if latencies.is_empty() {
             // A scheme that skips every pulse still pays the verify-read of
             // the decision it based the skip on; charge one verify-read.
-            latencies.push_back(Micros::from_micros(100).as_nanos());
+            latencies.push(Micros::from_micros(100).as_nanos());
         }
+        // The erase changed the block's wear; refresh the die's cached
+        // program-latency scale.
+        self.refresh_program_scale(die_idx);
         latencies
     }
 
@@ -425,9 +479,8 @@ impl Ssd {
         &mut self,
         die_idx: usize,
         now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
         requests: &mut [RequestState],
-        report: &mut RunReport,
     ) {
         if self.dies[die_idx].busy_until > now {
             // Spurious wake-up; re-arm.
@@ -441,10 +494,9 @@ impl Ssd {
         // Priority 1: user reads (they may suspend an in-flight erase).
         if let Some(txn) = self.dies[die_idx].user_reads.pop_front() {
             let erase_in_flight = self.dies[die_idx]
-                .erase_jobs
-                .front()
-                .map(|j| j.started && !j.loop_latencies.is_empty())
-                .unwrap_or(false);
+                .erase_job
+                .as_ref()
+                .is_some_and(EraseJob::in_flight);
             if erase_in_flight && suspension {
                 self.erase_suspensions += 1;
             } else if erase_in_flight && !suspension {
@@ -455,7 +507,7 @@ impl Ssd {
                 return;
             }
             let latency = timings.read.as_nanos() + transfer;
-            self.complete_page(die_idx, txn, now + latency, requests);
+            self.complete_page(txn, now + latency, requests);
             self.make_busy(die_idx, now, latency, events);
             return;
         }
@@ -463,10 +515,9 @@ impl Ssd {
         // Priority 2: an erase that has already started continues (when
         // suspension is enabled it only runs because no reads are pending).
         let erase_started = self.dies[die_idx]
-            .erase_jobs
-            .front()
-            .map(|j| j.started && !j.loop_latencies.is_empty())
-            .unwrap_or(false);
+            .erase_job
+            .as_ref()
+            .is_some_and(EraseJob::in_flight);
         if erase_started {
             self.continue_erase(die_idx, now, events);
             return;
@@ -475,27 +526,23 @@ impl Ssd {
         // Priority 3: when the die is out of free blocks, space reclamation
         // beats user writes.
         let starved = self.dies[die_idx].ftl.free_block_count() == 0;
-        if starved && self.dispatch_gc_or_erase(die_idx, now, events, report) {
+        if starved && self.dispatch_gc_or_erase(die_idx, now, events) {
             return;
         }
 
         // Priority 4: user writes.
         if let Some(txn) = self.dies[die_idx].user_writes.pop_front() {
-            let program_scale = self
-                .controller
-                .scheme()
-                .program_latency_scale(self.average_pec(die_idx))
-                .max(1.0);
+            let program_scale = self.dies[die_idx].program_scale;
             if self.place_write(die_idx, txn.lpn).is_some() {
                 let latency = (timings.program.as_nanos() as f64 * program_scale) as u64 + transfer;
-                self.complete_page(die_idx, txn, now + latency, requests);
+                self.complete_page(txn, now + latency, requests);
                 self.maybe_start_gc(die_idx);
                 self.make_busy(die_idx, now, latency, events);
             } else {
                 // No space: requeue the write and force reclamation.
                 self.dies[die_idx].user_writes.push_front(txn);
                 self.maybe_start_gc(die_idx);
-                if !self.dispatch_gc_or_erase(die_idx, now, events, report) {
+                if !self.dispatch_gc_or_erase(die_idx, now, events) {
                     // Nothing to reclaim either; drop the page write to avoid
                     // deadlock (only reachable on pathologically small
                     // configurations).
@@ -503,7 +550,7 @@ impl Ssd {
                         .user_writes
                         .pop_front()
                         .expect("just requeued");
-                    self.complete_page(die_idx, txn, now + transfer, requests);
+                    self.complete_page(txn, now + transfer, requests);
                     self.make_busy(die_idx, now, transfer, events);
                 }
             }
@@ -512,7 +559,7 @@ impl Ssd {
 
         // Priority 5: background space reclamation; if it dispatches nothing
         // the die simply goes idle.
-        self.dispatch_gc_or_erase(die_idx, now, events, report);
+        self.dispatch_gc_or_erase(die_idx, now, events);
     }
 
     /// Dispatches a GC page move or starts/continues an erase job. Returns
@@ -521,8 +568,7 @@ impl Ssd {
         &mut self,
         die_idx: usize,
         now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
-        report: &mut RunReport,
+        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
     ) -> bool {
         let timings = self.config.family.timings;
         let transfer = self.config.transfer_ns;
@@ -548,19 +594,17 @@ impl Ssd {
         }
         // Erase job: only when its victim's migrations are done.
         let can_erase = self.dies[die_idx]
-            .erase_jobs
-            .front()
-            .map(|j| !j.started)
-            .unwrap_or(false);
+            .erase_job
+            .as_ref()
+            .is_some_and(|j| !j.started);
         if can_erase {
-            let block = self.dies[die_idx].erase_jobs.front().unwrap().block;
+            let block = self.dies[die_idx].erase_job.as_ref().unwrap().block;
             let latencies = self.decide_erase(die_idx, block);
             {
-                let job = self.dies[die_idx].erase_jobs.front_mut().unwrap();
+                let job = self.dies[die_idx].erase_job.as_mut().unwrap();
                 job.loop_latencies = latencies;
                 job.started = true;
             }
-            let _ = report;
             self.continue_erase(die_idx, now, events);
             return true;
         }
@@ -573,26 +617,31 @@ impl Ssd {
         &mut self,
         die_idx: usize,
         now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
     ) {
         let suspension = self.config.erase_suspension;
         let die = &mut self.dies[die_idx];
-        let Some(job) = die.erase_jobs.front_mut() else {
+        let Some(job) = die.erase_job.as_mut() else {
             return;
         };
         let latency = if suspension {
-            job.loop_latencies.pop_front().unwrap_or(0)
+            let next = job.loop_latencies.get(job.next_loop).copied().unwrap_or(0);
+            job.next_loop = (job.next_loop + 1).min(job.loop_latencies.len());
+            next
         } else {
-            let total: u64 = job.loop_latencies.iter().sum();
-            job.loop_latencies.clear();
+            let total = job.loop_latencies[job.next_loop..].iter().sum();
+            job.next_loop = job.loop_latencies.len();
             total
         };
-        let finished = job.loop_latencies.is_empty();
+        let finished = job.next_loop >= job.loop_latencies.len();
         if finished {
             let block = job.block;
-            die.erase_jobs.pop_front();
+            die.erase_job = None;
             die.ftl.finish_erase(block);
-            die.gc_in_progress = die.erase_jobs.iter().any(|_| true) || !die.gc_moves.is_empty();
+            // GC for this victim is over once its migrations have drained
+            // (they always have by the time the erase is dispatched; checked
+            // here for robustness rather than assumed).
+            die.gc_in_progress = !die.gc_moves.is_empty();
         }
         self.make_busy(die_idx, now, latency.max(1), events);
     }
@@ -602,27 +651,21 @@ impl Ssd {
         die_idx: usize,
         now: u64,
         latency: u64,
-        events: &mut BinaryHeap<Reverse<(u64, Event)>>,
+        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
     ) {
         let die = &mut self.dies[die_idx];
         die.busy_until = now + latency;
         let has_work = !die.user_reads.is_empty()
             || !die.user_writes.is_empty()
             || !die.gc_moves.is_empty()
-            || !die.erase_jobs.is_empty();
+            || die.erase_job.is_some();
         if has_work && !die.idle_event_pending {
             die.idle_event_pending = true;
-            events.push(Reverse((die.busy_until, Event::DieIdle(die_idx))));
+            events.push(Reverse((die.busy_until, die_idx)));
         }
     }
 
-    fn complete_page(
-        &mut self,
-        _die_idx: usize,
-        txn: PageTxn,
-        at: u64,
-        requests: &mut [RequestState],
-    ) {
+    fn complete_page(&mut self, txn: PageTxn, at: u64, requests: &mut [RequestState]) {
         let r = &mut requests[txn.request];
         r.remaining_pages = r.remaining_pages.saturating_sub(1);
         r.completed_at = r.completed_at.max(at);
@@ -693,8 +736,17 @@ mod tests {
     fn read_latency_has_reasonable_floor() {
         let report = run(SchemeKind::Baseline, true, 300);
         // A read takes at least tR + transfer = 50 us.
-        let mut lat = report.read_latency.clone();
-        assert!(lat.percentile(50.0) >= 50_000);
+        assert!(report.read_latency.percentile(50.0) >= 50_000);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(SchemeKind::Aero, true, 600);
+        let b = run(SchemeKind::Aero, true, 600);
+        assert_eq!(a.read_latency, b.read_latency);
+        assert_eq!(a.write_latency, b.write_latency);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.erase_suspensions, b.erase_suspensions);
     }
 
     #[test]
@@ -714,8 +766,8 @@ mod tests {
             .generate(4_000, 7);
             ssd.run_trace(&trace)
         };
-        let mut base = mk(SchemeKind::Baseline);
-        let mut aero = mk(SchemeKind::Aero);
+        let base = mk(SchemeKind::Baseline);
+        let aero = mk(SchemeKind::Aero);
         assert!(base.erase_stats.operations > 0 && aero.erase_stats.operations > 0);
         let base_tail = base.read_latency.percentile(99.9);
         let aero_tail = aero.read_latency.percentile(99.9);
@@ -755,8 +807,8 @@ mod tests {
             .generate(4_000, 9);
             ssd.run_trace(&trace)
         };
-        let mut with = mk(true);
-        let mut without = mk(false);
+        let with = mk(true);
+        let without = mk(false);
         assert!(
             without.read_latency.percentile(99.99) >= with.read_latency.percentile(99.99),
             "suspension should not make tails worse"

@@ -35,7 +35,7 @@ fn main() {
         SchemeKind::AeroCons,
         SchemeKind::Aero,
     ] {
-        let (name, mut report) = run(scheme);
+        let (name, report) = run(scheme);
         let (p999, p9999, p999999) = report.read_latency.tail_percentiles();
         rows.push((
             name,

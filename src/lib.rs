@@ -12,6 +12,7 @@
 //! | [`workloads`] | `aero-workloads` | synthetic + trace workloads (paper Table 3) |
 //! | [`characterize`] | `aero-characterize` | §5 characterization studies on a synthetic chip population |
 //! | [`mod@bench`] | `aero-bench` | `fig*`/`table*` experiment harness |
+//! | [`exec`] | `aero-exec` | deterministic parallel sweep execution (`AERO_THREADS`) |
 //!
 //! See the repository `README.md` for the full crate map and how to
 //! reproduce each paper figure.
@@ -22,6 +23,7 @@
 pub use aero_bench as bench;
 pub use aero_characterize as characterize;
 pub use aero_core as core;
+pub use aero_exec as exec;
 pub use aero_nand as nand;
 pub use aero_ssd as ssd;
 pub use aero_workloads as workloads;

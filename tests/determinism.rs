@@ -1,0 +1,71 @@
+//! Determinism regression suite for the parallel experiment harness.
+//!
+//! Every sweep in this repository is a list of independent, individually
+//! seeded jobs executed by `aero-exec`; the contract is that the rendered
+//! output of any sweep is **byte-identical** at every thread count
+//! (`AERO_THREADS=1` is the reference). These tests pin that contract on a
+//! real `run_ssd` sweep and on the full quick-scale Table 4 harness.
+//!
+//! The thread-count override is process-global, so all override
+//! manipulation lives in a single `#[test]` function — two tests toggling
+//! it concurrently would trample each other.
+
+use aero::bench::system::{run_ssd, table4, RunParams};
+use aero::bench::Scale;
+use aero::core::SchemeKind;
+use aero::workloads::catalog::WorkloadId;
+
+/// Runs a small but real `run_ssd` sweep (2 schemes × 2 workloads × 2 wear
+/// levels) and returns the per-run measurements that summarize a report.
+fn sweep() -> Vec<(u64, u64, u64, u64, u64)> {
+    let mut jobs = Vec::new();
+    for pec in [500u32, 2_500] {
+        for workload in [WorkloadId::AliA, WorkloadId::Rsrch] {
+            for scheme in [SchemeKind::Baseline, SchemeKind::Aero] {
+                let mut params = RunParams::new(scheme, workload, pec, Scale::Quick);
+                params.requests = 1_000;
+                jobs.push(params);
+            }
+        }
+    }
+    aero::exec::par_map(jobs, |params| {
+        let report = run_ssd(&params, Scale::Quick);
+        (
+            report.reads_completed,
+            report.writes_completed,
+            report.makespan_ns,
+            report.read_latency.percentile(99.9),
+            report.write_latency.percentile(99.9),
+        )
+    })
+}
+
+#[test]
+fn sweeps_are_byte_identical_across_thread_counts() {
+    // Reference: everything on one thread, as with AERO_THREADS=1.
+    let (sweep_one, table_one) = {
+        let _guard = aero::exec::override_threads(1);
+        (sweep(), table4(Scale::Quick))
+    };
+
+    // A real run_ssd sweep must match the reference at several counts.
+    for threads in [2, 8] {
+        let _guard = aero::exec::override_threads(threads);
+        assert_eq!(
+            sweep(),
+            sweep_one,
+            "run_ssd sweep diverged at {threads} threads"
+        );
+    }
+
+    // The full quick-scale Table 4 harness must render byte-identically on
+    // 8 threads (the paper-reproduction acceptance check).
+    let table_eight = {
+        let _guard = aero::exec::override_threads(8);
+        table4(Scale::Quick)
+    };
+    assert_eq!(
+        table_one, table_eight,
+        "table4 quick-scale output diverged between 1 and 8 threads"
+    );
+}

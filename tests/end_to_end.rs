@@ -94,8 +94,8 @@ fn aero_improves_erase_latency_and_read_tail() {
         .generate(6_000, 5);
         ssd.run_trace(&trace)
     };
-    let mut base = run(SchemeKind::Baseline);
-    let mut aero = run(SchemeKind::Aero);
+    let base = run(SchemeKind::Baseline);
+    let aero = run(SchemeKind::Aero);
     assert!(base.erase_stats.operations > 0);
     assert!(aero.erase_stats.operations > 0);
     assert!(
@@ -130,8 +130,8 @@ fn erase_suspension_composes_with_aero() {
         .generate(5_000, 21);
         ssd.run_trace(&trace)
     };
-    let mut base_no_susp = run(SchemeKind::Baseline, false);
-    let mut aero_susp = run(SchemeKind::Aero, true);
+    let base_no_susp = run(SchemeKind::Baseline, false);
+    let aero_susp = run(SchemeKind::Aero, true);
     let baseline_tail = base_no_susp.read_latency.percentile(99.99);
     let combined_tail = aero_susp.read_latency.percentile(99.99);
     assert!(
