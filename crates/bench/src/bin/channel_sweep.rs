@@ -1,0 +1,10 @@
+//! Channel-count sensitivity sweep: read latency of the same die count
+//! reorganized across progressively fewer, more widely shared channel buses
+//! (16×1 vs 8×2 vs 4×4 vs 2×8 at full scale).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin channel_sweep [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::system::channel_sweep(scale));
+}

@@ -68,6 +68,13 @@ fn digest(reports: &[RunReport]) -> u64 {
         r.gc_invocations.hash(&mut h);
         r.gc_page_moves.hash(&mut h);
         r.erase_suspensions.hash(&mut h);
+        for c in &r.channel_stats {
+            c.transfers.hash(&mut h);
+            c.busy_ns.hash(&mut h);
+            c.waited_transfers.hash(&mut h);
+            c.wait_ns.hash(&mut h);
+            c.write_deferrals.hash(&mut h);
+        }
         for latency in [&r.read_latency, &r.write_latency] {
             latency.len().hash(&mut h);
             latency.mean().to_bits().hash(&mut h);

@@ -41,6 +41,10 @@ pub struct RunParams {
     pub requests: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Override of the drive's `(channels, chips_per_channel)` organization
+    /// (the channel-count sensitivity sweep); `None` keeps the scale's
+    /// default layout.
+    pub channel_layout: Option<(u32, u32)>,
 }
 
 impl RunParams {
@@ -55,6 +59,7 @@ impl RunParams {
             rber_requirement: 63,
             requests: scale.requests_per_workload(),
             seed: 0xA11CE,
+            channel_layout: None,
         }
     }
 }
@@ -63,7 +68,7 @@ impl RunParams {
 /// its preconditioning, and the replayed trace are all derived from seeds in
 /// `params`, which is what makes sweep jobs independent and parallel-safe.
 pub fn run_ssd(params: &RunParams, scale: Scale) -> RunReport {
-    let config = match scale {
+    let mut config = match scale {
         Scale::Quick => SsdConfig::small_test(params.scheme),
         Scale::Full => SsdConfig::scaled_paper(params.scheme),
     }
@@ -71,6 +76,9 @@ pub fn run_ssd(params: &RunParams, scale: Scale) -> RunReport {
     .with_misprediction_rate(params.misprediction_rate)
     .with_rber_requirement(params.rber_requirement)
     .with_seed(params.seed);
+    if let Some((channels, chips_per_channel)) = params.channel_layout {
+        config = config.with_channel_layout(channels, chips_per_channel);
+    }
     let logical_bytes = config.logical_capacity_bytes();
     let mut ssd = Ssd::new(config);
     ssd.precondition_wear(params.pec);
@@ -556,6 +564,88 @@ pub fn fig17(scale: Scale) -> String {
     }
     out.push('\n');
     out.push_str(&latency_table.render());
+    out
+}
+
+/// Channel-count sensitivity sweep: the same die count reorganized across
+/// progressively fewer, more widely shared channels (16×1 → 8×2 → 4×4 → 2×8
+/// at full scale; 4×1 → 2×2 → 1×4 at quick scale).
+///
+/// Die-level array time is layout-invariant — only the shared-bus
+/// serialization of page transfers changes — so the rendered table isolates
+/// the channel contribution to read latency: tail percentiles, bus
+/// utilization, and how many transfers had to wait. One run per
+/// (layout, workload) cell, all independent seeded jobs on the
+/// [`aero_exec::par_map`] pool, rendered in input order (byte-identical at
+/// every thread count).
+pub fn channel_sweep(scale: Scale) -> String {
+    let layouts: Vec<(u32, u32)> = match scale {
+        Scale::Quick => vec![(4, 1), (2, 2), (1, 4)],
+        Scale::Full => vec![(16, 1), (8, 2), (4, 4), (2, 8)],
+    };
+    let workloads = workloads_for(scale);
+    let pec = 2_500;
+    let jobs: Vec<RunParams> = layouts
+        .iter()
+        .flat_map(|&layout| {
+            workloads.iter().map(move |&workload| {
+                let mut params = RunParams::new(SchemeKind::Baseline, workload, pec, scale);
+                params.channel_layout = Some(layout);
+                params
+            })
+        })
+        .collect();
+    let mut reports = SweepReports::run(jobs, scale);
+    let dies = layouts[0].0 * layouts[0].1;
+    let mut out = format!(
+        "Channel sensitivity — {dies} dies reorganized across shared buses (PEC = {pec}, Baseline scheme)\n\
+         Array time is layout-invariant; differences are pure shared-bus contention.\n"
+    );
+    let mut table = TextTable::new(vec![
+        "channels x chips",
+        "p99.99 read [us]",
+        "p99.9999 read [us]",
+        "mean read [us]",
+        "bus util [%]",
+        "transfer waits",
+        "mean bus wait [us]",
+    ]);
+    for &(channels, chips) in &layouts {
+        let mut p4_sum = 0.0;
+        let mut p6_sum = 0.0;
+        let mut mean_sum = 0.0;
+        let mut util_sum = 0.0;
+        let mut waits = 0u64;
+        let mut wait_ns = 0u64;
+        let mut transfers = 0u64;
+        for &workload in &workloads {
+            let report = reports.next_for(|p| {
+                (p.channel_layout, p.workload) == (Some((channels, chips)), workload)
+            });
+            p4_sum += report.read_latency.percentile(99.99) as f64 / 1_000.0;
+            p6_sum += report.read_latency.percentile(99.9999) as f64 / 1_000.0;
+            mean_sum += report.read_latency.mean() / 1_000.0;
+            util_sum += report.mean_channel_utilization();
+            waits += report.transfer_waits();
+            wait_ns += report.transfer_wait_ns();
+            transfers += report
+                .channel_stats
+                .iter()
+                .map(|c| c.transfers)
+                .sum::<u64>();
+        }
+        let n = workloads.len() as f64;
+        table.row(vec![
+            format!("{channels} x {chips}"),
+            fmt(p4_sum / n, 1),
+            fmt(p6_sum / n, 1),
+            fmt(mean_sum / n, 1),
+            fmt(util_sum / n * 100.0, 1),
+            format!("{waits} / {transfers}"),
+            fmt(wait_ns as f64 / 1_000.0 / waits.max(1) as f64, 1),
+        ]);
+    }
+    out.push_str(&table.render());
     out
 }
 

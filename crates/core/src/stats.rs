@@ -85,6 +85,41 @@ impl EraseStats {
         }
     }
 
+    /// Returns the statistics accumulated since `baseline` was captured
+    /// (field-wise `self − baseline`), for run-local reporting against a
+    /// live, drive-lifetime statistics stream.
+    ///
+    /// `baseline` must be an earlier snapshot of the same stream; every
+    /// counter uses saturating subtraction so a mismatched snapshot cannot
+    /// underflow.
+    ///
+    /// `max_latency` is **not** subtractable — a running maximum cannot be
+    /// un-merged — so the diff keeps `self.max_latency`: the lifetime
+    /// maximum, which is an upper bound on (and usually equal to) the true
+    /// maximum of the interval.
+    pub fn diff(&self, baseline: &EraseStats) -> EraseStats {
+        let mut loop_histogram = [0u64; 9];
+        for (d, (a, b)) in loop_histogram.iter_mut().zip(
+            self.loop_histogram
+                .iter()
+                .zip(baseline.loop_histogram.iter()),
+        ) {
+            *d = a.saturating_sub(*b);
+        }
+        EraseStats {
+            operations: self.operations.saturating_sub(baseline.operations),
+            loops: self.loops.saturating_sub(baseline.loops),
+            total_latency: self.total_latency.saturating_sub(baseline.total_latency),
+            total_stress: (self.total_stress - baseline.total_stress).max(0.0),
+            partial_erases: self.partial_erases.saturating_sub(baseline.partial_erases),
+            complete_erases: self
+                .complete_erases
+                .saturating_sub(baseline.complete_erases),
+            loop_histogram,
+            max_latency: self.max_latency,
+        }
+    }
+
     /// Merges another statistics object into this one.
     pub fn merge(&mut self, other: &EraseStats) {
         self.operations += other.operations;
@@ -158,6 +193,53 @@ mod tests {
         assert_eq!(s.mean_latency(), Micros::ZERO);
         assert_eq!(s.mean_loops(), 0.0);
         assert_eq!(s.partial_fraction(), 0.0);
+    }
+
+    #[test]
+    fn diff_reports_only_the_interval_since_the_baseline() {
+        let mut s = EraseStats::new();
+        s.record(&report(1, 3.6, 7.0, true), false);
+        s.record(&report(3, 10.8, 30.0, true), false);
+        let baseline = s.clone();
+        s.record(&report(2, 7.2, 20.0, false), true);
+        let d = s.diff(&baseline);
+        assert_eq!(d.operations, 1);
+        assert_eq!(d.loops, 2);
+        assert_eq!(d.total_latency, Micros::from_millis_f64(7.2));
+        assert!((d.total_stress - 20.0).abs() < 1e-12);
+        assert_eq!(d.partial_erases, 1);
+        assert_eq!(d.complete_erases, 0);
+        assert_eq!(d.loop_histogram, [0, 1, 0, 0, 0, 0, 0, 0, 0]);
+        // max_latency is not subtractable: the diff keeps the lifetime
+        // maximum (an upper bound on the interval's true maximum).
+        assert_eq!(d.max_latency, Micros::from_millis_f64(10.8));
+    }
+
+    #[test]
+    fn diff_against_identical_snapshot_is_empty() {
+        let mut s = EraseStats::new();
+        s.record(&report(2, 7.2, 20.0, true), false);
+        let d = s.diff(&s.clone());
+        assert_eq!(d.operations, 0);
+        assert_eq!(d.loops, 0);
+        assert_eq!(d.total_latency, Micros::ZERO);
+        assert_eq!(d.total_stress, 0.0);
+        assert_eq!(d.loop_histogram, [0u64; 9]);
+    }
+
+    #[test]
+    fn diff_saturates_on_mismatched_baseline() {
+        let mut ahead = EraseStats::new();
+        ahead.record(&report(1, 3.6, 7.0, true), false);
+        ahead.record(&report(1, 3.6, 7.0, true), false);
+        let behind = EraseStats::new();
+        // Diffing the *baseline* against the later snapshot must not
+        // underflow.
+        let d = behind.diff(&ahead);
+        assert_eq!(d.operations, 0);
+        assert_eq!(d.loops, 0);
+        assert_eq!(d.total_latency, Micros::ZERO);
+        assert_eq!(d.total_stress, 0.0);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use serde::{Deserialize, Serialize};
 /// Configuration of a simulated SSD.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SsdConfig {
-    /// Number of channels.
+    /// Number of channels. Dies on the same channel share one data bus:
+    /// their page data transfers serialize while their NAND array
+    /// operations overlap, so with the die count held fixed, fewer channels
+    /// means more bus contention.
     pub channels: u32,
     /// Number of NAND dies (chips) per channel.
     pub chips_per_channel: u32,
@@ -99,6 +102,23 @@ impl SsdConfig {
         }
     }
 
+    /// Builder-style: reorganize the drive as `channels` × `chips_per_channel`
+    /// (the die count is their product). Used by the channel-count
+    /// sensitivity sweep to vary bus sharing at a fixed die count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn with_channel_layout(mut self, channels: u32, chips_per_channel: u32) -> Self {
+        assert!(
+            channels >= 1 && chips_per_channel >= 1,
+            "channel layout must have at least one channel and one chip per channel"
+        );
+        self.channels = channels;
+        self.chips_per_channel = chips_per_channel;
+        self
+    }
+
     /// Builder-style: set the erase-suspension flag.
     pub fn with_erase_suspension(mut self, enabled: bool) -> Self {
         self.erase_suspension = enabled;
@@ -186,11 +206,20 @@ mod tests {
             .with_erase_suspension(false)
             .with_misprediction_rate(0.1)
             .with_rber_requirement(40)
+            .with_channel_layout(1, 4)
             .with_seed(9);
         assert!(!c.erase_suspension);
         assert_eq!(c.misprediction_rate, 0.1);
         assert_eq!(c.rber_requirement, 40);
+        assert_eq!((c.channels, c.chips_per_channel), (1, 4));
+        assert_eq!(c.dies(), 4);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channel_layout_rejected() {
+        let _ = SsdConfig::small_test(SchemeKind::Aero).with_channel_layout(0, 2);
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! operations, optional erase suspension at erase-loop granularity, and
 //! nanosecond-resolution latency accounting with tail percentiles.
 //!
+//! Dies on the same channel share one data bus, as on the paper's 8 × 2
+//! evaluation SSD: page data transfers serialize per channel (FCFS) while
+//! NAND array time overlaps across dies, so the channel layout — not just
+//! the die count — shapes read tail latency. Per-channel bus occupancy and
+//! contention counters are reported in [`report::ChannelStats`], and every
+//! [`RunReport`] is run-local: erase statistics (via
+//! [`aero_core::EraseStats::diff`]), GC counters, suspension counts, and
+//! channel accounting cover only that replay.
+//!
 //! Every physical die is backed by a full [`aero_nand::Chip`] model, and every
 //! block erasure goes through an [`aero_core`] erase scheme, so the simulated
 //! tail latency directly reflects how long each scheme keeps a die busy
@@ -36,5 +45,5 @@ pub mod ssd;
 
 pub use config::SsdConfig;
 pub use latency::LatencyRecorder;
-pub use report::RunReport;
+pub use report::{ChannelStats, RunReport};
 pub use ssd::Ssd;

@@ -5,6 +5,29 @@ use serde::{Deserialize, Serialize};
 
 use crate::latency::LatencyRecorder;
 
+/// Shared-bus accounting for one channel over one trace replay.
+///
+/// Dies on the same channel share one data bus: page data transfers
+/// serialize on it while NAND array time (tR / tPROG / erase loops)
+/// overlaps freely across the channel's dies. These counters measure how
+/// contended that bus was during the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Page data transfers carried over this channel's bus.
+    pub transfers: u64,
+    /// Total time the bus was occupied by transfers, in nanoseconds.
+    pub busy_ns: u64,
+    /// Transfers that had to wait for the bus because another die on the
+    /// channel held it.
+    pub waited_transfers: u64,
+    /// Total time spent waiting for the bus (reservation waits plus write
+    /// dispatch deferrals), in nanoseconds.
+    pub wait_ns: u64,
+    /// Times a user-write dispatch was deferred (with a channel-busy
+    /// wake-up) because its leading data transfer could not start.
+    pub write_deferrals: u64,
+}
+
 /// Everything measured during one trace replay on a simulated SSD.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -27,8 +50,11 @@ pub struct RunReport {
     /// Number of pages migrated by garbage collection.
     pub gc_page_moves: u64,
     /// Number of times an in-flight erase was suspended to let a user read
-    /// through.
+    /// through. This counts pause *transitions*: a burst of reads serviced
+    /// within one inter-loop suspension window counts as one suspension.
     pub erase_suspensions: u64,
+    /// Per-channel shared-bus accounting, one entry per channel.
+    pub channel_stats: Vec<ChannelStats>,
 }
 
 impl RunReport {
@@ -59,6 +85,42 @@ impl RunReport {
         }
         (user_pages_written + self.gc_page_moves) as f64 / user_pages_written as f64
     }
+
+    /// Total number of times any transfer waited for a shared channel bus
+    /// (reservation waits plus write dispatch deferrals). Zero on a drive
+    /// with one chip per channel.
+    pub fn transfer_waits(&self) -> u64 {
+        self.channel_stats
+            .iter()
+            .map(|c| c.waited_transfers + c.write_deferrals)
+            .sum()
+    }
+
+    /// Total time transfers spent waiting for a channel bus, in nanoseconds.
+    pub fn transfer_wait_ns(&self) -> u64 {
+        self.channel_stats.iter().map(|c| c.wait_ns).sum()
+    }
+
+    /// Per-channel bus utilization: fraction of the makespan each channel's
+    /// bus was occupied by transfers. Empty if the makespan is zero.
+    pub fn channel_utilization(&self) -> Vec<f64> {
+        if self.makespan_ns == 0 {
+            return Vec::new();
+        }
+        self.channel_stats
+            .iter()
+            .map(|c| c.busy_ns as f64 / self.makespan_ns as f64)
+            .collect()
+    }
+
+    /// Mean bus utilization across all channels (0 when there are none).
+    pub fn mean_channel_utilization(&self) -> f64 {
+        let per_channel = self.channel_utilization();
+        if per_channel.is_empty() {
+            return 0.0;
+        }
+        per_channel.iter().sum::<f64>() / per_channel.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +147,39 @@ mod tests {
         let r = RunReport::default();
         assert_eq!(r.iops(), 0.0);
         assert_eq!(r.write_amplification(0), 1.0);
+        assert_eq!(r.transfer_waits(), 0);
+        assert_eq!(r.transfer_wait_ns(), 0);
+        assert!(r.channel_utilization().is_empty());
+        assert_eq!(r.mean_channel_utilization(), 0.0);
+    }
+
+    #[test]
+    fn channel_helpers_aggregate_per_channel_stats() {
+        let r = RunReport {
+            makespan_ns: 1_000_000,
+            channel_stats: vec![
+                ChannelStats {
+                    transfers: 10,
+                    busy_ns: 250_000,
+                    waited_transfers: 3,
+                    wait_ns: 40_000,
+                    write_deferrals: 2,
+                },
+                ChannelStats {
+                    transfers: 5,
+                    busy_ns: 750_000,
+                    waited_transfers: 0,
+                    wait_ns: 0,
+                    write_deferrals: 0,
+                },
+            ],
+            ..RunReport::default()
+        };
+        assert_eq!(r.transfer_waits(), 5);
+        assert_eq!(r.transfer_wait_ns(), 40_000);
+        let util = r.channel_utilization();
+        assert!((util[0] - 0.25).abs() < 1e-12);
+        assert!((util[1] - 0.75).abs() < 1e-12);
+        assert!((r.mean_channel_utilization() - 0.5).abs() < 1e-12);
     }
 }

@@ -14,14 +14,34 @@
 //! latencies, wear, and reliability all come from the device model rather
 //! than fixed constants.
 //!
+//! # Channel model
+//!
+//! The drive is organized as `channels × chips_per_channel` dies, and dies
+//! on the same channel share one data bus ([`Channel`]), as in the paper's
+//! MQSim-based evaluation SSD (Table 2: 8 channels × 2 chips). Every page
+//! data transfer — user read, user write, GC read-out and rewrite-in —
+//! reserves the die's channel bus in FCFS order, while NAND array time
+//! (tR, tPROG, erase loops) overlaps freely across the dies of a channel:
+//! transfers serialize, array operations don't. Reads sense first and then
+//! wait for the bus if a neighbor holds it; user writes *lead* with their
+//! transfer, so a write whose bus is busy is deferred with a channel-busy
+//! wake-up (letting higher-priority reads run meanwhile) instead of
+//! blocking the die. Erase operations move no page data and never touch
+//! the bus. With one chip per channel the bus is always free by the time
+//! a die dispatches, so such a drive behaves exactly like the previous
+//! fully-independent-die model.
+//!
 //! Hot-path notes: arrivals are consumed through a pre-sorted index (one
 //! O(n log n) sort per trace) instead of being pushed through the event
-//! heap, so the heap only ever holds at most one die-idle event per die; the
-//! per-die program-latency scale is cached and refreshed only when wear
-//! actually changes (an erase or preconditioning) rather than being derived
-//! from a wear query on every page write; and an in-flight erase walks a
-//! cursor over its decided loop latencies instead of draining a
-//! per-job `VecDeque`.
+//! heap, so the heap holds die wake-ups only — at most one per die plus
+//! the occasional channel-busy wake-up, deduplicated by each die's
+//! earliest-pending-wake time; the per-die program-latency scale is cached
+//! and refreshed only when wear actually changes (an erase or
+//! preconditioning) rather than being derived from a wear query on every
+//! page write; the die-mean P/E-cycle count that scale depends on is a
+//! running sum updated on erase/precondition rather than an O(blocks)
+//! scan; and an in-flight erase walks a cursor over its decided loop
+//! latencies instead of draining a per-job `VecDeque`.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -31,14 +51,14 @@ use aero_core::scheme::{BlockId, EraseScheme};
 use aero_core::Aero;
 use aero_nand::cell::DataPattern;
 use aero_nand::chip::{Chip, ChipConfig};
-use aero_nand::geometry::{BlockAddr, PageAddr};
+use aero_nand::geometry::PageAddr;
 use aero_nand::reliability::ecc::EccConfig;
 use aero_nand::timing::Micros;
 use aero_workloads::request::{IoOp, Trace};
 
 use crate::config::SsdConfig;
 use crate::ftl::{DieFtl, PageMapping, Ppa};
-use crate::report::RunReport;
+use crate::report::{ChannelStats, RunReport};
 
 /// A queued user page transaction.
 #[derive(Debug, Clone, Copy)]
@@ -66,12 +86,55 @@ struct EraseJob {
     next_loop: usize,
     /// Whether the erase scheme has run and `loop_latencies` is populated.
     started: bool,
+    /// Whether the erase is currently paused in an inter-loop gap because a
+    /// user read preempted it. Cleared when the next loop runs, so a burst
+    /// of reads serviced in one gap counts as a single suspension.
+    suspended: bool,
 }
 
 impl EraseJob {
     /// True while decided loops remain to be paid in simulated time.
     fn in_flight(&self) -> bool {
         self.started && self.next_loop < self.loop_latencies.len()
+    }
+}
+
+/// The shared data bus connecting the dies of one channel.
+///
+/// Page data transfers reserve the bus in FCFS order; NAND array time never
+/// occupies it. `reserve` is the whole arbitration protocol: it grants the
+/// bus at the earliest instant both the requester and the bus are ready,
+/// and keeps the contention counters surfaced in
+/// [`crate::report::ChannelStats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct Channel {
+    /// Simulated time until which the bus is occupied.
+    busy_until: u64,
+    /// Total bus-occupied time.
+    busy_ns: u64,
+    /// Number of transfers carried.
+    transfers: u64,
+    /// Transfers whose start was delayed by a prior reservation.
+    waited_transfers: u64,
+    /// Total delay (reservation waits plus write dispatch deferrals).
+    wait_ns: u64,
+    /// User-write dispatches deferred because the bus was busy.
+    write_deferrals: u64,
+}
+
+impl Channel {
+    /// Reserves the bus for `duration` starting no earlier than `earliest`;
+    /// returns the granted start time.
+    fn reserve(&mut self, earliest: u64, duration: u64) -> u64 {
+        let start = earliest.max(self.busy_until);
+        if start > earliest {
+            self.waited_transfers += 1;
+            self.wait_ns += start - earliest;
+        }
+        self.transfers += 1;
+        self.busy_ns += duration;
+        self.busy_until = start + duration;
+        start
     }
 }
 
@@ -82,7 +145,11 @@ struct Die {
     /// Physical-page → logical-page reverse map (u64::MAX = invalid).
     p2l: Vec<u64>,
     busy_until: u64,
-    idle_event_pending: bool,
+    /// Earliest pending wake-up event for this die in the event heap
+    /// (`u64::MAX` = none known). Pushing only strictly-earlier wake-ups
+    /// keeps the heap small; stale later entries are dispatched harmlessly
+    /// (dispatch re-checks `busy_until` and the work queues).
+    next_wake: u64,
     user_reads: VecDeque<PageTxn>,
     user_writes: VecDeque<PageTxn>,
     gc_moves: VecDeque<GcMove>,
@@ -92,6 +159,13 @@ struct Die {
     /// Refreshed whenever the die's wear changes (erase, preconditioning);
     /// between those points it is constant, so page writes never query wear.
     program_scale: f64,
+    /// Running sum of every block's P/E-cycle count on this die, maintained
+    /// on erase and preconditioning so the die-mean PEC is O(1) to read.
+    pec_sum: u64,
+    /// When the head of `user_writes` was first deferred because its
+    /// channel bus was busy (`None` = not deferred). The accumulated wait
+    /// is charged to the channel once, when the write finally transfers.
+    write_deferred_at: Option<u64>,
 }
 
 /// Per-request completion tracking.
@@ -107,6 +181,9 @@ pub struct Ssd {
     config: SsdConfig,
     mapping: PageMapping,
     dies: Vec<Die>,
+    /// One shared data bus per channel; die `i` is wired to channel
+    /// `i / chips_per_channel`.
+    channels: Vec<Channel>,
     controller: EraseController<Box<dyn EraseScheme>>,
     next_write_die: usize,
     gc_invocations: u64,
@@ -120,6 +197,10 @@ impl Ssd {
     /// mapping, and the configured erase scheme behind a single drive-wide
     /// controller.
     pub fn new(config: SsdConfig) -> Self {
+        assert!(
+            config.channels >= 1 && config.chips_per_channel >= 1,
+            "the drive needs at least one channel with one chip"
+        );
         let geometry = config.family.geometry;
         let blocks_per_die = geometry.total_blocks() as u32;
         let pages_per_block = geometry.pages_per_block;
@@ -131,15 +212,18 @@ impl Ssd {
                 ftl: DieFtl::new(blocks_per_die, pages_per_block),
                 p2l: vec![u64::MAX; (blocks_per_die * pages_per_block) as usize],
                 busy_until: 0,
-                idle_event_pending: false,
+                next_wake: u64::MAX,
                 user_reads: VecDeque::new(),
                 user_writes: VecDeque::new(),
                 gc_moves: VecDeque::new(),
                 erase_job: None,
                 gc_in_progress: false,
                 program_scale: 1.0,
+                pec_sum: 0,
+                write_deferred_at: None,
             })
             .collect();
+        let channels = vec![Channel::default(); config.channels as usize];
         let ecc = EccConfig::paper_default().with_requirement(config.rber_requirement.min(72));
         let mut scheme = config.scheme.build_with_requirement(&config.family, &ecc);
         if config.misprediction_rate > 0.0 {
@@ -163,6 +247,7 @@ impl Ssd {
             config,
             mapping: PageMapping::new(logical_pages),
             dies,
+            channels,
             controller: EraseController::new(scheme),
             next_write_die: 0,
             gc_invocations: 0,
@@ -196,6 +281,8 @@ impl Ssd {
                     .precondition_block(addr, pec)
                     .expect("block address from geometry iterator is valid");
             }
+            // Every block now sits at exactly `pec` cycles.
+            die.pec_sum = pec as u64 * geometry.total_blocks();
         }
         for die_idx in 0..self.dies.len() {
             self.refresh_program_scale(die_idx);
@@ -208,7 +295,10 @@ impl Ssd {
     ///
     /// # Panics
     ///
-    /// Panics if the fraction is outside [0, 1].
+    /// Panics if the fraction is outside [0, 1], or if the drive runs out
+    /// of physical space before every requested page is placed (every die
+    /// full; since this preconditioning path never runs garbage
+    /// collection, repeated large fills can genuinely exhaust the drive).
     pub fn fill_fraction(&mut self, fraction: f64) {
         assert!(
             (0.0..=1.0).contains(&fraction),
@@ -216,15 +306,43 @@ impl Ssd {
         );
         let logical_pages = (self.mapping.len() as f64 * fraction) as u64;
         for lpn in 0..logical_pages {
-            let die_idx = self.next_write_die;
-            self.next_write_die = (self.next_write_die + 1) % self.dies.len();
-            self.place_write(die_idx, lpn);
+            // Round-robin placement, skipping dies that are out of space so
+            // no page is silently dropped.
+            let placed = (0..self.dies.len()).any(|_| {
+                let die_idx = self.next_write_die;
+                self.next_write_die = (self.next_write_die + 1) % self.dies.len();
+                self.place_write(die_idx, lpn).is_some()
+            });
+            assert!(
+                placed,
+                "fill_fraction: the drive is full after placing {lpn} of {logical_pages} pages \
+                 (fills never garbage-collect; reduce the fill fraction or enlarge the drive)"
+            );
         }
     }
 
     /// Replays a trace to completion and returns the measured report.
+    ///
+    /// Everything in the report is **run-local**: erase statistics, GC
+    /// counters, suspension counts, and channel-bus accounting cover only
+    /// this replay, not preconditioning or earlier `run_trace` calls on the
+    /// same drive (`RunReport::erase_stats::max_latency` is the one
+    /// exception — see [`aero_core::EraseStats::diff`]).
     pub fn run_trace(&mut self, trace: &Trace) -> RunReport {
         let page_bytes = self.config.family.geometry.page_size_bytes;
+        // Channel clocks and counters are per-run: trace arrival times start
+        // from zero, and the report must not inherit earlier runs' traffic.
+        for channel in &mut self.channels {
+            *channel = Channel::default();
+        }
+        // Every write of a finished run has transferred, so these are None;
+        // cleared defensively so a stale stamp can never cross runs.
+        for die in &mut self.dies {
+            die.write_deferred_at = None;
+        }
+        let baseline_gc_invocations = self.gc_invocations;
+        let baseline_gc_page_moves = self.gc_page_moves;
+        let baseline_erase_suspensions = self.erase_suspensions;
         let mut requests: Vec<RequestState> = trace
             .iter()
             .map(|r| RequestState {
@@ -242,15 +360,16 @@ impl Ssd {
         let mut arrival_order: Vec<usize> = (0..trace.requests().len()).collect();
         arrival_order.sort_by_key(|&i| trace.requests()[i].arrival_ns);
         let mut next_arrival = 0usize;
-        // The event heap then only ever holds die-idle events: at most one
-        // per die, deduplicated by `idle_event_pending`.
+        // The event heap then only ever holds die wake-ups (idle
+        // transitions and channel-busy retries), deduplicated by each die's
+        // earliest-pending time in `Die::next_wake`.
         let mut events: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
 
         let mut report = RunReport {
             scheme: self.config.scheme.label().to_string(),
             ..RunReport::default()
         };
-        let baseline_erase_ops = self.controller.stats().operations;
+        let baseline_erase_stats = self.controller.stats().clone();
 
         loop {
             let arrival = arrival_order
@@ -299,7 +418,12 @@ impl Ssd {
             } else {
                 let (now, die_idx) = die_event.expect("no arrival taken implies a die event");
                 events.pop();
-                self.dies[die_idx].idle_event_pending = false;
+                // Popping the die's earliest-known wake-up forgets it; stale
+                // later entries dispatch harmlessly (dispatch re-checks
+                // `busy_until` and the work queues).
+                if self.dies[die_idx].next_wake == now {
+                    self.dies[die_idx].next_wake = u64::MAX;
+                }
                 self.dispatch(die_idx, now, &mut events, &mut requests);
             }
         }
@@ -321,13 +445,24 @@ impl Ssd {
                 report.makespan_ns = report.makespan_ns.max(r.completed_at);
             }
         }
-        report.gc_invocations = self.gc_invocations;
-        report.gc_page_moves = self.gc_page_moves;
-        report.erase_suspensions = self.erase_suspensions;
-        let mut stats = self.controller.stats().clone();
-        // Only report erases performed during this run.
-        stats.operations -= baseline_erase_ops.min(stats.operations);
-        report.erase_stats = stats;
+        report.gc_invocations = self.gc_invocations - baseline_gc_invocations;
+        report.gc_page_moves = self.gc_page_moves - baseline_gc_page_moves;
+        report.erase_suspensions = self.erase_suspensions - baseline_erase_suspensions;
+        // Only report erases performed during this run: a full-snapshot
+        // diff, so loops, latency, stress, and the loop histogram are
+        // run-local alongside the operation count.
+        report.erase_stats = self.controller.stats().diff(&baseline_erase_stats);
+        report.channel_stats = self
+            .channels
+            .iter()
+            .map(|c| ChannelStats {
+                transfers: c.transfers,
+                busy_ns: c.busy_ns,
+                waited_transfers: c.waited_transfers,
+                wait_ns: c.wait_ns,
+                write_deferrals: c.write_deferrals,
+            })
+            .collect();
         report
     }
 
@@ -345,16 +480,35 @@ impl Ssd {
     // Internals
     // ------------------------------------------------------------------
 
+    /// The channel whose bus serves a die.
+    fn channel_of(&self, die_idx: usize) -> usize {
+        die_idx / self.config.chips_per_channel as usize
+    }
+
     fn kick_die(
         &mut self,
         die_idx: usize,
         now: u64,
         events: &mut BinaryHeap<Reverse<(u64, usize)>>,
     ) {
+        let at = now.max(self.dies[die_idx].busy_until);
+        self.schedule_wake(die_idx, at, events);
+    }
+
+    /// Schedules a wake-up for a die at absolute time `at`, deduplicated
+    /// against the die's earliest already-pending wake-up. Unlike the old
+    /// single-pending-event scheme, a strictly earlier wake-up is always
+    /// pushed, so a channel-busy deferral can never delay newly arrived
+    /// higher-priority work.
+    fn schedule_wake(
+        &mut self,
+        die_idx: usize,
+        at: u64,
+        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    ) {
         let die = &mut self.dies[die_idx];
-        if !die.idle_event_pending {
-            let at = now.max(die.busy_until);
-            die.idle_event_pending = true;
+        if at < die.next_wake {
+            die.next_wake = at;
             events.push(Reverse((at, die_idx)));
         }
     }
@@ -388,13 +542,13 @@ impl Ssd {
     }
 
     fn average_pec(&self, die_idx: usize) -> u32 {
-        // A cheap proxy: the PEC of block 0 of the die (all blocks age at a
-        // similar rate under the round-robin frontier policy).
-        self.dies[die_idx]
-            .chip
-            .wear(BlockAddr::new(0, 0))
-            .map(|w| w.pec)
-            .unwrap_or(0)
+        // The die's true mean P/E-cycle count, rounded to the nearest
+        // cycle. The running sum is maintained on every erase and
+        // preconditioning pass, so this is O(1) and — unlike the previous
+        // block-0 proxy — stays correct when garbage collection skews the
+        // wear distribution across blocks.
+        let blocks = self.config.family.geometry.total_blocks();
+        ((self.dies[die_idx].pec_sum + blocks / 2) / blocks) as u32
     }
 
     /// Recomputes the die's cached program-latency scale from its current
@@ -438,6 +592,7 @@ impl Ssd {
             loop_latencies: Vec::new(),
             next_loop: 0,
             started: false,
+            suspended: false,
         });
     }
 
@@ -468,8 +623,10 @@ impl Ssd {
             // the decision it based the skip on; charge one verify-read.
             latencies.push(Micros::from_micros(100).as_nanos());
         }
-        // The erase changed the block's wear; refresh the die's cached
-        // program-latency scale.
+        // The erase changed the block's wear (its PEC advanced by one on
+        // both the success and the loop-exhaustion path); refresh the die's
+        // running PEC sum and cached program-latency scale.
+        self.dies[die_idx].pec_sum += 1;
         self.refresh_program_scale(die_idx);
         latencies
     }
@@ -490,6 +647,7 @@ impl Ssd {
         let timings = self.config.family.timings;
         let transfer = self.config.transfer_ns;
         let suspension = self.config.erase_suspension;
+        let channel_idx = self.channel_of(die_idx);
 
         // Priority 1: user reads (they may suspend an in-flight erase).
         if let Some(txn) = self.dies[die_idx].user_reads.pop_front() {
@@ -497,18 +655,31 @@ impl Ssd {
                 .erase_job
                 .as_ref()
                 .is_some_and(EraseJob::in_flight);
-            if erase_in_flight && suspension {
-                self.erase_suspensions += 1;
-            } else if erase_in_flight && !suspension {
+            if erase_in_flight && !suspension {
                 // Without suspension the erase must finish first; put the read
                 // back and fall through to the erase branch.
                 self.dies[die_idx].user_reads.push_front(txn);
                 self.continue_erase(die_idx, now, events);
                 return;
             }
-            let latency = timings.read.as_nanos() + transfer;
-            self.complete_page(txn, now + latency, requests);
-            self.make_busy(die_idx, now, latency, events);
+            if erase_in_flight {
+                // Count the pause *transition*, not every read serviced in
+                // the gap: the flag is cleared when the erase resumes.
+                let job = self.dies[die_idx]
+                    .erase_job
+                    .as_mut()
+                    .expect("in-flight erase checked above");
+                if !job.suspended {
+                    job.suspended = true;
+                    self.erase_suspensions += 1;
+                }
+            }
+            // Sense on the die's array, then move the page over the shared
+            // channel bus (waiting if a neighbor die holds it).
+            let sense_done = now + timings.read.as_nanos();
+            let done = self.channels[channel_idx].reserve(sense_done, transfer) + transfer;
+            self.complete_page(txn, done, requests);
+            self.make_busy(die_idx, now, done - now, events);
             return;
         }
 
@@ -530,11 +701,37 @@ impl Ssd {
             return;
         }
 
-        // Priority 4: user writes.
+        // Priority 4: user writes. The data transfer *leads* the program, so
+        // a write whose channel bus is currently held by another die is
+        // deferred with a channel-busy wake-up — the die stays free for
+        // higher-priority reads in the meantime — instead of reserving the
+        // bus ahead of time.
         if let Some(txn) = self.dies[die_idx].user_writes.pop_front() {
+            let bus_free_at = self.channels[channel_idx].busy_until;
+            if bus_free_at > now {
+                self.dies[die_idx].user_writes.push_front(txn);
+                // Count the deferral once per head-of-queue write; the wait
+                // time is charged when the write finally transfers, so
+                // re-dispatches during the wait (e.g. for a newly arrived
+                // read) cannot double-count overlapping wait windows.
+                if self.dies[die_idx].write_deferred_at.is_none() {
+                    self.dies[die_idx].write_deferred_at = Some(now);
+                    self.channels[channel_idx].write_deferrals += 1;
+                }
+                self.schedule_wake(die_idx, bus_free_at, events);
+                return;
+            }
+            if let Some(deferred_at) = self.dies[die_idx].write_deferred_at.take() {
+                self.channels[channel_idx].wait_ns += now - deferred_at;
+            }
             let program_scale = self.dies[die_idx].program_scale;
             if self.place_write(die_idx, txn.lpn).is_some() {
-                let latency = (timings.program.as_nanos() as f64 * program_scale) as u64 + transfer;
+                // The deferral guard above means the bus is free here: a
+                // user write never waits inside `reserve` — its bus waiting
+                // is modeled exclusively by the deferral path.
+                let start = self.channels[channel_idx].reserve(now, transfer);
+                debug_assert_eq!(start, now, "deferral guard must leave the bus free");
+                let latency = transfer + (timings.program.as_nanos() as f64 * program_scale) as u64;
                 self.complete_page(txn, now + latency, requests);
                 self.maybe_start_gc(die_idx);
                 self.make_busy(die_idx, now, latency, events);
@@ -545,13 +742,14 @@ impl Ssd {
                 if !self.dispatch_gc_or_erase(die_idx, now, events) {
                     // Nothing to reclaim either; drop the page write to avoid
                     // deadlock (only reachable on pathologically small
-                    // configurations).
+                    // configurations). The host transfer still happened.
                     let txn = self.dies[die_idx]
                         .user_writes
                         .pop_front()
                         .expect("just requeued");
-                    self.complete_page(txn, now + transfer, requests);
-                    self.make_busy(die_idx, now, transfer, events);
+                    let done = self.channels[channel_idx].reserve(now, transfer) + transfer;
+                    self.complete_page(txn, done, requests);
+                    self.make_busy(die_idx, now, done - now, events);
                 }
             }
             return;
@@ -573,11 +771,17 @@ impl Ssd {
         let timings = self.config.family.timings;
         let transfer = self.config.transfer_ns;
         let pages_per_block = self.config.family.geometry.pages_per_block;
+        let channel_idx = self.channel_of(die_idx);
         if let Some(mv) = self.dies[die_idx].gc_moves.pop_front() {
-            // Migrate one valid page: read it and rewrite it on the same die.
+            // Migrate one valid page: read it out over the channel bus and
+            // rewrite it on the same die (a second bus transfer through the
+            // controller, then the program).
             let lpn =
                 self.dies[die_idx].p2l[(mv.victim_block * pages_per_block + mv.page) as usize];
-            let mut latency = timings.read.as_nanos() + transfer;
+            let sense_done = now + timings.read.as_nanos();
+            let read_out_done = self.channels[channel_idx].reserve(sense_done, transfer) + transfer;
+            let mut done = read_out_done;
+            let program_scale = self.dies[die_idx].program_scale;
             if lpn != u64::MAX
                 && self.dies[die_idx]
                     .ftl
@@ -585,11 +789,16 @@ impl Ssd {
                     .is_valid(mv.page)
                 && self.place_write(die_idx, lpn).is_some()
             {
-                latency += timings.program.as_nanos() + transfer;
+                let write_in_done =
+                    self.channels[channel_idx].reserve(read_out_done, transfer) + transfer;
+                // GC rewrites pay the same wear-dependent program-latency
+                // scale as user writes (DPES trades erase stress for slower
+                // programs on *every* program, GC migrations included).
+                done = write_in_done + (timings.program.as_nanos() as f64 * program_scale) as u64;
                 self.gc_page_moves += 1;
                 self.user_pages_written -= 1; // GC rewrites are not user writes
             }
-            self.make_busy(die_idx, now, latency, events);
+            self.make_busy(die_idx, now, done - now, events);
             return true;
         }
         // Erase job: only when its victim's migrations are done.
@@ -624,6 +833,9 @@ impl Ssd {
         let Some(job) = die.erase_job.as_mut() else {
             return;
         };
+        // The erase is (re)occupying the die's array: any suspension window
+        // is over, so a later read preempting it counts as a new suspension.
+        job.suspended = false;
         let latency = if suspension {
             let next = job.loop_latencies.get(job.next_loop).copied().unwrap_or(0);
             job.next_loop = (job.next_loop + 1).min(job.loop_latencies.len());
@@ -659,9 +871,9 @@ impl Ssd {
             || !die.user_writes.is_empty()
             || !die.gc_moves.is_empty()
             || die.erase_job.is_some();
-        if has_work && !die.idle_event_pending {
-            die.idle_event_pending = true;
-            events.push(Reverse((die.busy_until, die_idx)));
+        if has_work {
+            let at = die.busy_until;
+            self.schedule_wake(die_idx, at, events);
         }
     }
 
@@ -675,7 +887,9 @@ impl Ssd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ftl::BlockState;
     use aero_core::SchemeKind;
+    use aero_nand::geometry::BlockAddr;
     use aero_workloads::SyntheticWorkload;
 
     fn workload(reads: f64, count: usize) -> Trace {
@@ -840,5 +1054,272 @@ mod tests {
         assert_eq!(ssd.utilization(), 0.0);
         ssd.fill_fraction(0.5);
         assert!((ssd.utilization() - 0.5).abs() < 0.02);
+    }
+
+    /// A drive with the same die count but shared channel buses has strictly
+    /// worse read tail latency: transfers serialize on the bus while array
+    /// operations overlap, and only the shared layout ever waits for a bus.
+    #[test]
+    fn shared_channel_increases_read_tail_latency() {
+        let mk = |channels: u32, chips: u32| {
+            let config = SsdConfig::small_test(SchemeKind::Baseline)
+                .with_channel_layout(channels, chips)
+                .with_seed(4);
+            let mut ssd = Ssd::new(config);
+            ssd.fill_fraction(0.4);
+            let trace = SyntheticWorkload {
+                read_ratio: 0.6,
+                mean_request_bytes: 16.0 * 1024.0,
+                mean_inter_arrival_ns: 30_000.0,
+                footprint_bytes: 4 << 20,
+                hot_access_fraction: 0.8,
+                hot_region_fraction: 0.2,
+            }
+            .generate(2_500, 11);
+            ssd.run_trace(&trace)
+        };
+        let private = mk(4, 1); // 4 channels × 1 chip: every die owns its bus
+        let shared = mk(2, 2); // 2 channels × 2 chips: same dies, shared buses
+        assert_eq!(private.channel_stats.len(), 4);
+        assert_eq!(shared.channel_stats.len(), 2);
+        assert_eq!(
+            private.transfer_waits(),
+            0,
+            "a die that owns its channel can never wait for the bus"
+        );
+        assert!(
+            shared.transfer_waits() > 0,
+            "two chips per channel must contend for the shared bus"
+        );
+        let private_tail = private.read_latency.percentile(99.99);
+        let shared_tail = shared.read_latency.percentile(99.99);
+        assert!(
+            shared_tail > private_tail,
+            "shared buses must lengthen the read tail (shared {shared_tail} vs private {private_tail})"
+        );
+        assert!(
+            shared.transfer_wait_ns() > 0,
+            "contended transfers must accumulate wait time"
+        );
+    }
+
+    /// Channel counters are internally consistent and run-local.
+    #[test]
+    fn channel_stats_account_for_every_transfer() {
+        let config = SsdConfig::small_test(SchemeKind::Baseline);
+        let transfer_ns = config.transfer_ns;
+        let mut ssd = Ssd::new(config);
+        ssd.fill_fraction(0.6);
+        let report = ssd.run_trace(&workload(0.5, 500));
+        assert_eq!(report.channel_stats.len(), 2);
+        let transfers: u64 = report.channel_stats.iter().map(|c| c.transfers).sum();
+        let busy: u64 = report.channel_stats.iter().map(|c| c.busy_ns).sum();
+        assert!(transfers > 0);
+        assert_eq!(busy, transfers * transfer_ns);
+        for utilization in report.channel_utilization() {
+            assert!((0.0..=1.0).contains(&utilization));
+        }
+        // One chip per channel: the bus is always free when the die is.
+        assert_eq!(report.transfer_waits(), 0);
+        assert_eq!(report.transfer_wait_ns(), 0);
+        // A second run reports only its own traffic.
+        let report2 = ssd.run_trace(&workload(0.5, 100));
+        let transfers2: u64 = report2.channel_stats.iter().map(|c| c.transfers).sum();
+        assert!(transfers2 < transfers);
+    }
+
+    /// `RunReport.erase_stats` covers only the erases of that replay even
+    /// when the drive already performed erases in earlier runs.
+    #[test]
+    fn erase_stats_are_run_local() {
+        let config = SsdConfig::small_test(SchemeKind::Baseline);
+        let mut ssd = Ssd::new(config);
+        ssd.fill_fraction(0.7);
+        let trace = workload(0.0, 2_000);
+        let r1 = ssd.run_trace(&trace);
+        let after1 = ssd.erase_stats().clone();
+        assert!(r1.erase_stats.operations > 0, "writes must trigger erases");
+        assert_eq!(r1.erase_stats.loops, after1.loops);
+        let r2 = ssd.run_trace(&trace);
+        let after2 = ssd.erase_stats().clone();
+        assert!(r2.erase_stats.operations > 0);
+        assert_eq!(
+            r2.erase_stats.operations,
+            after2.operations - after1.operations
+        );
+        assert_eq!(r2.erase_stats.loops, after2.loops - after1.loops);
+        assert_eq!(
+            r2.erase_stats.total_latency,
+            after2.total_latency.saturating_sub(after1.total_latency)
+        );
+        assert!(
+            (r2.erase_stats.total_stress - (after2.total_stress - after1.total_stress)).abs()
+                < 1e-9
+        );
+        assert_eq!(
+            r2.erase_stats.complete_erases,
+            after2.complete_erases - after1.complete_erases
+        );
+        for bucket in 0..9 {
+            assert_eq!(
+                r2.erase_stats.loop_histogram[bucket],
+                after2.loop_histogram[bucket] - after1.loop_histogram[bucket]
+            );
+        }
+        assert!(
+            r2.erase_stats.operations < after2.operations,
+            "the second run must not re-report the first run's erases"
+        );
+        // GC and suspension counters are run-local too.
+        assert_eq!(r1.gc_invocations + r2.gc_invocations, ssd.gc_invocations);
+        assert_eq!(r1.gc_page_moves + r2.gc_page_moves, ssd.gc_page_moves);
+        assert_eq!(
+            r1.erase_suspensions + r2.erase_suspensions,
+            ssd.erase_suspensions
+        );
+    }
+
+    /// GC rewrites pay the same wear-dependent program-latency scale as
+    /// user writes (the DPES slowdown reaches GC migrations).
+    #[test]
+    fn gc_rewrites_pay_scaled_program_latency() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        ssd.fill_fraction(0.7);
+        let victim = (0..ssd.dies[0].ftl.block_count())
+            .find(|&b| {
+                ssd.dies[0].ftl.block(b).state == BlockState::Full
+                    && ssd.dies[0].ftl.block(b).is_valid(0)
+            })
+            .expect("a 70% fill leaves full blocks on die 0");
+        let scale = 1.5;
+        ssd.dies[0].program_scale = scale;
+        ssd.dies[0].chip.set_program_latency_scale(scale);
+        ssd.dies[0].gc_moves.push_back(GcMove {
+            victim_block: victim,
+            page: 0,
+        });
+        ssd.dies[0].gc_in_progress = true;
+        let mut events = BinaryHeap::new();
+        assert!(ssd.dispatch_gc_or_erase(0, 0, &mut events));
+        let timings = ssd.config.family.timings;
+        let expected = timings.read.as_nanos()
+            + 2 * ssd.config.transfer_ns
+            + (timings.program.as_nanos() as f64 * scale) as u64;
+        assert_eq!(
+            ssd.dies[0].busy_until, expected,
+            "the migration must pay tR + two bus transfers + scaled tPROG"
+        );
+        assert_eq!(ssd.gc_page_moves, 1);
+    }
+
+    /// `fill_fraction` retries the next die instead of silently dropping
+    /// pages when the round-robin target is out of space.
+    #[test]
+    fn fill_fraction_skips_full_dies() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        let logical = ssd.mapping.len() as u64;
+        // Exhaust die 0 with high logical pages, leaving the low range for
+        // the fill below.
+        let mut lpn = logical - 1;
+        while ssd.place_write(0, lpn).is_some() {
+            lpn -= 1;
+        }
+        ssd.fill_fraction(0.3);
+        let filled = (logical as f64 * 0.3) as u64;
+        for l in 0..filled {
+            let ppa = ssd
+                .mapping
+                .lookup(l)
+                .expect("every page of the fill must be placed despite die 0 being full");
+            assert_eq!(ppa.die, 1, "placements must land on the die with space");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drive is full")]
+    fn fill_fraction_panics_when_drive_is_full() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        // Fills never garbage-collect, so overwriting the full logical space
+        // twice genuinely exhausts physical space; that must be loud.
+        ssd.fill_fraction(1.0);
+        ssd.fill_fraction(1.0);
+    }
+
+    /// `erase_suspensions` counts pause transitions: a burst of reads
+    /// serviced within one inter-loop gap is one suspension, and the count
+    /// rises again only after the erase has resumed.
+    #[test]
+    fn erase_suspensions_count_pause_transitions() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        ssd.fill_fraction(0.3);
+        let mut events = BinaryHeap::new();
+        let mut requests: Vec<RequestState> = (0..4)
+            .map(|_| RequestState {
+                arrival_ns: 0,
+                op: IoOp::Read,
+                remaining_pages: 1,
+                completed_at: 0,
+            })
+            .collect();
+        // An erase in flight on die 0 with plenty of loops left.
+        ssd.dies[0].erase_job = Some(EraseJob {
+            block: 0,
+            loop_latencies: vec![1_000_000; 8],
+            next_loop: 0,
+            started: true,
+            suspended: false,
+        });
+        for r in 0..3 {
+            ssd.dies[0].user_reads.push_back(PageTxn {
+                request: r,
+                lpn: r as u64,
+            });
+        }
+        let mut now = 0;
+        for _ in 0..3 {
+            ssd.dispatch(0, now, &mut events, &mut requests);
+            now = ssd.dies[0].busy_until;
+        }
+        assert_eq!(
+            ssd.erase_suspensions, 1,
+            "three reads in one suspension window are one suspension"
+        );
+        // No reads pending: the erase resumes (one loop).
+        ssd.dispatch(0, now, &mut events, &mut requests);
+        now = ssd.dies[0].busy_until;
+        // A read preempting the erase again is a second suspension.
+        ssd.dies[0]
+            .user_reads
+            .push_back(PageTxn { request: 3, lpn: 9 });
+        ssd.dispatch(0, now, &mut events, &mut requests);
+        assert_eq!(ssd.erase_suspensions, 2);
+    }
+
+    /// The program-latency scale is driven by the die's true mean PEC, not
+    /// the wear of block 0.
+    #[test]
+    fn average_pec_tracks_die_mean_not_block_zero() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Dpes));
+        let blocks = ssd.config.family.geometry.total_blocks();
+        // Hammer block 0 of die 0 with erases: its own PEC climbs, but the
+        // die-mean stays near zero.
+        for _ in 0..6 {
+            let _ = ssd.decide_erase(0, 0);
+        }
+        assert_eq!(
+            ssd.dies[0].chip.wear(BlockAddr::new(0, 0)).unwrap().pec,
+            6,
+            "block 0 alone took the erases"
+        );
+        assert_eq!(ssd.dies[0].pec_sum, 6);
+        assert_eq!(
+            ssd.average_pec(0),
+            ((6 + blocks / 2) / blocks) as u32,
+            "the die mean must average over all {blocks} blocks"
+        );
+        assert_eq!(ssd.average_pec(0), 0, "6 erases over 24 blocks round to 0");
+        // Preconditioning sets every block, so the mean is exact.
+        ssd.precondition_wear(2_500);
+        assert_eq!(ssd.average_pec(0), 2_500);
     }
 }

@@ -10,7 +10,7 @@
 //! manipulation lives in a single `#[test]` function — two tests toggling
 //! it concurrently would trample each other.
 
-use aero::bench::system::{run_ssd, table4, RunParams};
+use aero::bench::system::{channel_sweep, run_ssd, table4, RunParams};
 use aero::bench::Scale;
 use aero::core::SchemeKind;
 use aero::workloads::catalog::WorkloadId;
@@ -43,9 +43,9 @@ fn sweep() -> Vec<(u64, u64, u64, u64, u64)> {
 #[test]
 fn sweeps_are_byte_identical_across_thread_counts() {
     // Reference: everything on one thread, as with AERO_THREADS=1.
-    let (sweep_one, table_one) = {
+    let (sweep_one, table_one, channels_one) = {
         let _guard = aero::exec::override_threads(1);
-        (sweep(), table4(Scale::Quick))
+        (sweep(), table4(Scale::Quick), channel_sweep(Scale::Quick))
     };
 
     // A real run_ssd sweep must match the reference at several counts.
@@ -58,14 +58,21 @@ fn sweeps_are_byte_identical_across_thread_counts() {
         );
     }
 
-    // The full quick-scale Table 4 harness must render byte-identically on
-    // 8 threads (the paper-reproduction acceptance check).
-    let table_eight = {
+    // The full quick-scale Table 4 harness — now running on the
+    // channel-aware simulator — must render byte-identically on 8 threads
+    // (the paper-reproduction acceptance check), and so must the
+    // channel-count sensitivity sweep, whose runs exercise shared-bus
+    // arbitration directly.
+    let (table_eight, channels_eight) = {
         let _guard = aero::exec::override_threads(8);
-        table4(Scale::Quick)
+        (table4(Scale::Quick), channel_sweep(Scale::Quick))
     };
     assert_eq!(
         table_one, table_eight,
         "table4 quick-scale output diverged between 1 and 8 threads"
+    );
+    assert_eq!(
+        channels_one, channels_eight,
+        "channel_sweep quick-scale output diverged between 1 and 8 threads"
     );
 }
