@@ -1,21 +1,32 @@
 //! Criterion benchmark: simulator throughput replaying a short workload under
-//! Baseline and AERO (requests simulated per wall-clock second).
+//! Baseline and AERO (requests simulated per wall-clock second), via both
+//! the materialized `run_trace` wrapper and the streaming session API (the
+//! two must cost the same — the wrapper *is* a session).
 
 use aero_core::SchemeKind;
 use aero_ssd::{Ssd, SsdConfig};
-use aero_workloads::SyntheticWorkload;
+use aero_workloads::{IterSource, SyntheticWorkload};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_ssd_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("ssd_trace_replay_1000_requests");
     group.sample_size(10);
-    let trace = SyntheticWorkload::default_test().generate(1_000, 3);
+    let workload = SyntheticWorkload::default_test();
+    let trace = workload.generate(1_000, 3);
     for scheme in [SchemeKind::Baseline, SchemeKind::Aero] {
         group.bench_function(scheme.label(), |b| {
             b.iter(|| {
                 let mut ssd = Ssd::new(SsdConfig::small_test(scheme));
                 ssd.fill_fraction(0.6);
                 ssd.run_trace(&trace)
+            });
+        });
+        group.bench_function(format!("{}_streamed", scheme.label()), |b| {
+            b.iter(|| {
+                let mut ssd = Ssd::new(SsdConfig::small_test(scheme));
+                ssd.fill_fraction(0.6);
+                ssd.session(IterSource::new(workload.stream(3).take(1_000)))
+                    .run_to_end()
             });
         });
     }

@@ -1,9 +1,13 @@
 //! Times a fixed quick-scale SSD sweep on 1 thread and on N threads, checks
-//! the outputs are identical, and emits `BENCH_ssd.json` — the repository's
-//! performance-trajectory record (wall-clock, simulated requests/second,
-//! and parallel speedup).
+//! the outputs are identical, smokes a 1M-request **streamed** synthetic
+//! run through the session API, and emits `BENCH_ssd.json` — the
+//! repository's performance-trajectory record (wall-clock, simulated
+//! requests/second, parallel speedup, and streamed-session throughput) —
+//! plus `BENCH_ssd_timeseries.csv`, a periodic [`aero_ssd::Simulation`]
+//! snapshot series over the streamed run (simulated time, completions,
+//! tail latency, GC activity) for CI to archive.
 //!
-//! Usage: `cargo run -p aero-bench --release --bin perf_report [out.json]`
+//! Usage: `cargo run -p aero-bench --release --bin perf_report [out.json [timeseries.csv]]`
 //!
 //! The parallel pass honors `AERO_THREADS` (default: the machine's available
 //! parallelism); the reference pass always runs on 1 thread. The sweep is
@@ -12,18 +16,24 @@
 //! pass takes seconds, not minutes.
 
 use std::collections::hash_map::DefaultHasher;
+use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 use aero_bench::system::{run_ssd, RunParams};
 use aero_bench::Scale;
 use aero_core::config::SchemeKind;
-use aero_ssd::RunReport;
+use aero_ssd::{RunReport, Ssd, SsdConfig};
 use aero_workloads::catalog::WorkloadId;
+use aero_workloads::IterSource;
 
 /// Requests per sweep job — larger than the quick-scale default so the
 /// timing signal dominates process noise.
 const REQUESTS_PER_JOB: usize = 20_000;
+
+/// Requests in the streamed-session smoke: large enough that materializing
+/// the workload would be noticeable, streamed so it never is.
+const STREAM_REQUESTS: usize = 1_000_000;
 
 /// The fixed benchmark sweep: the Table 4 quick grid.
 fn sweep_jobs() -> Vec<RunParams> {
@@ -87,10 +97,63 @@ fn digest(reports: &[RunReport]) -> u64 {
     h.finish()
 }
 
+/// Streams [`STREAM_REQUESTS`] synthetic requests through one session,
+/// snapshotting every `window_ns` of simulated time. Returns the wall-clock
+/// seconds and the rendered time-series CSV.
+fn streamed_run(window_ns: u64) -> (f64, String) {
+    let config = SsdConfig::small_test(SchemeKind::Aero).with_seed(0xA11CE);
+    let mut ssd = Ssd::new(config);
+    ssd.fill_fraction(0.6);
+    let workload = aero_workloads::SyntheticWorkload {
+        read_ratio: 0.5,
+        mean_request_bytes: 16.0 * 1024.0,
+        mean_inter_arrival_ns: 100_000.0,
+        footprint_bytes: 4 << 20,
+        hot_access_fraction: 0.8,
+        hot_region_fraction: 0.2,
+    };
+    let mut csv = String::from(
+        "sim_time_ms,completed_requests,in_flight,mean_read_us,p999_read_us,gc_invocations,erases\n",
+    );
+    let start = Instant::now();
+    let mut sim = ssd.session(IterSource::new(
+        workload.stream(0xA11CE).take(STREAM_REQUESTS),
+    ));
+    loop {
+        let target = sim.now().saturating_add(window_ns);
+        sim.run_until(target);
+        let snap = sim.snapshot();
+        writeln!(
+            csv,
+            "{},{},{},{:.1},{:.1},{},{}",
+            sim.now() / 1_000_000,
+            snap.reads_completed + snap.writes_completed,
+            sim.in_flight_requests(),
+            snap.read_latency.mean() / 1_000.0,
+            snap.read_latency.percentile(99.9) as f64 / 1_000.0,
+            snap.gc_invocations,
+            snap.erase_stats.operations,
+        )
+        .expect("writing to a String cannot fail");
+        if sim.is_finished() {
+            break;
+        }
+    }
+    let completed = sim.completed_requests();
+    assert_eq!(
+        completed, STREAM_REQUESTS as u64,
+        "every streamed request must complete"
+    );
+    (start.elapsed().as_secs_f64(), csv)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_ssd.json".to_string());
+    let timeseries_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_ssd_timeseries.csv".to_string());
     let jobs = sweep_jobs().len();
     let simulated_requests = (jobs * REQUESTS_PER_JOB) as u64;
     let threads = aero_exec::thread_count();
@@ -103,21 +166,29 @@ fn main() {
     eprintln!("perf_report: parallel pass ({threads} threads)");
     let (parallel, wall_n) = timed_sweep();
 
+    eprintln!("perf_report: streamed-session pass ({STREAM_REQUESTS} requests, one drive)");
+    // Snapshot every 10 simulated seconds: ~10 rows over the ~100 s
+    // simulated span of the 1M-request stream.
+    let (wall_stream, timeseries) = streamed_run(10_000_000_000);
+
     let identical = digest(&reference) == digest(&parallel);
     let speedup = wall_1 / wall_n.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"ssd_quick_sweep\",\n  \"jobs\": {jobs},\n  \"requests_per_job\": {REQUESTS_PER_JOB},\n  \"simulated_requests\": {simulated_requests},\n  \"threads\": {threads},\n  \"host_available_parallelism\": {hw},\n  \"wall_s_1_thread\": {w1:.3},\n  \"wall_s_n_threads\": {wn:.3},\n  \"requests_per_sec_1_thread\": {r1:.0},\n  \"requests_per_sec_n_threads\": {rn:.0},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {identical}\n}}\n",
+        "{{\n  \"bench\": \"ssd_quick_sweep\",\n  \"jobs\": {jobs},\n  \"requests_per_job\": {REQUESTS_PER_JOB},\n  \"simulated_requests\": {simulated_requests},\n  \"threads\": {threads},\n  \"host_available_parallelism\": {hw},\n  \"wall_s_1_thread\": {w1:.3},\n  \"wall_s_n_threads\": {wn:.3},\n  \"requests_per_sec_1_thread\": {r1:.0},\n  \"requests_per_sec_n_threads\": {rn:.0},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {identical},\n  \"streamed_requests\": {STREAM_REQUESTS},\n  \"streamed_wall_s\": {ws:.3},\n  \"streamed_requests_per_sec\": {rs:.0}\n}}\n",
         hw = std::thread::available_parallelism().map_or(1, |n| n.get()),
         w1 = wall_1,
         wn = wall_n,
         r1 = simulated_requests as f64 / wall_1.max(1e-9),
         rn = simulated_requests as f64 / wall_n.max(1e-9),
+        ws = wall_stream,
+        rs = STREAM_REQUESTS as f64 / wall_stream.max(1e-9),
     );
     // Write the report before enforcing determinism, so a divergence still
     // leaves an artifact (with "deterministic": false) for CI to upload.
     std::fs::write(&out_path, &json).expect("write benchmark report");
+    std::fs::write(&timeseries_path, &timeseries).expect("write snapshot time series");
     println!("{json}");
-    eprintln!("perf_report: wrote {out_path}");
+    eprintln!("perf_report: wrote {out_path} and {timeseries_path}");
     assert!(
         identical,
         "parallel sweep output diverged from the single-thread reference"

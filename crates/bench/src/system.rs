@@ -19,6 +19,7 @@ use aero_core::config::SchemeKind;
 use aero_exec::par_map;
 use aero_ssd::{RunReport, Ssd, SsdConfig};
 use aero_workloads::catalog::WorkloadId;
+use aero_workloads::IterSource;
 
 use crate::scale::Scale;
 
@@ -65,8 +66,11 @@ impl RunParams {
 }
 
 /// Runs one SSD measurement. A pure function of its parameters: the drive,
-/// its preconditioning, and the replayed trace are all derived from seeds in
-/// `params`, which is what makes sweep jobs independent and parallel-safe.
+/// its preconditioning, and the streamed workload are all derived from seeds
+/// in `params`, which is what makes sweep jobs independent and
+/// parallel-safe. The workload is **streamed** through
+/// [`Ssd::session`] — requests are generated lazily as simulated time
+/// advances, so the request count never bounds memory.
 pub fn run_ssd(params: &RunParams, scale: Scale) -> RunReport {
     let mut config = match scale {
         Scale::Quick => SsdConfig::small_test(params.scheme),
@@ -93,8 +97,8 @@ pub fn run_ssd(params: &RunParams, scale: Scale) -> RunReport {
     if scale == Scale::Quick {
         synth.mean_inter_arrival_ns = synth.mean_inter_arrival_ns.min(200_000.0);
     }
-    let trace = synth.generate(params.requests, params.seed);
-    ssd.run_trace(&trace)
+    let source = IterSource::new(synth.stream(params.seed).take(params.requests));
+    ssd.session(source).run_to_end()
 }
 
 /// A flat job grid run in parallel, consumed one report at a time in job

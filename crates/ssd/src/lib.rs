@@ -21,6 +21,19 @@
 //! tail latency directly reflects how long each scheme keeps a die busy
 //! erasing.
 //!
+//! # Driving the simulator
+//!
+//! Runs are **sessions**: [`Ssd::session`] opens a [`Simulation`] over any
+//! [`aero_workloads::WorkloadSource`] (a trace, a lazy synthetic stream, a
+//! line-by-line MSRC parser), which can be stepped event by event
+//! ([`Simulation::step`]), advanced to a simulated timestamp
+//! ([`Simulation::run_until`]), observed mid-run ([`Simulation::snapshot`],
+//! [`session::SimObserver`]), or drained ([`Simulation::run_to_end`]).
+//! Workload memory is O(1) for streamed sources and completion state lives
+//! in an in-flight map, so run length is bounded by simulated work — not by
+//! workload-in-RAM. [`Ssd::run_trace`] remains as a thin wrapper for the
+//! common replay-a-trace case:
+//!
 //! ```
 //! use aero_ssd::{Ssd, SsdConfig};
 //! use aero_core::SchemeKind;
@@ -33,6 +46,20 @@
 //! let report = ssd.run_trace(&trace);
 //! assert_eq!(report.reads_completed + report.writes_completed, 200);
 //! ```
+//!
+//! Streaming the same workload instead of materializing it:
+//!
+//! ```
+//! use aero_ssd::{Ssd, SsdConfig};
+//! use aero_core::SchemeKind;
+//! use aero_workloads::{IterSource, SyntheticWorkload};
+//!
+//! let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Aero));
+//! ssd.fill_fraction(0.5);
+//! let source = IterSource::new(SyntheticWorkload::default_test().stream(1).take(200));
+//! let report = ssd.session(source).run_to_end();
+//! assert_eq!(report.reads_completed + report.writes_completed, 200);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,9 +68,11 @@ pub mod config;
 pub mod ftl;
 pub mod latency;
 pub mod report;
+pub mod session;
 pub mod ssd;
 
 pub use config::SsdConfig;
 pub use latency::LatencyRecorder;
 pub use report::{ChannelStats, RunReport};
+pub use session::{SimObserver, Simulation};
 pub use ssd::Ssd;

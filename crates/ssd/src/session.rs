@@ -1,0 +1,1131 @@
+//! The streaming simulation session: steppable, observable, source-driven.
+//!
+//! A [`Simulation`] replaces the old monolithic batch replay with a
+//! **session object** that owns the run while borrowing the drive. It pulls
+//! requests from any [`WorkloadSource`] — an in-memory trace, a lazy
+//! synthetic stream, a line-by-line MSRC parser — so run length is bounded
+//! by simulated work, not by workload-in-RAM, and it exposes the run as it
+//! unfolds:
+//!
+//! * [`Simulation::step`] processes exactly one event (a request arrival or
+//!   a die wake-up);
+//! * [`Simulation::run_until`] advances simulated time to a target
+//!   nanosecond, enabling warm-up/measurement-window splits;
+//! * [`Simulation::run_to_end`] drains source and drive and returns the
+//!   final [`RunReport`];
+//! * [`Simulation::snapshot`] measures an interim run-local [`RunReport`]
+//!   at any point (erase statistics via [`aero_core::EraseStats::diff`]);
+//! * [`SimObserver`] hooks fire on request completion, erase completion,
+//!   and garbage-collection invocation, so instrumentation no longer
+//!   requires editing the event loop.
+//!
+//! Per-request completion state lives in an **in-flight map** keyed by
+//! request id rather than a trace-length vector, so memory scales with
+//! concurrent requests, not replayed requests: a 10-million-request
+//! streamed run holds only the handful of requests currently inside the
+//! drive.
+//!
+//! The event loop itself is the one the batch API always ran — per-die
+//! queues with user reads first, then resuming erases, user writes,
+//! garbage-collection traffic, and new erases; loop-granular erase
+//! suspension; shared channel buses — so [`Ssd::run_trace`], now a thin
+//! wrapper over a session, reproduces every measurement of the former
+//! batch implementation exactly (counts, makespan, means, maxima, the full
+//! percentile ladder, erase/GC/channel accounting). One representational
+//! difference: latency samples are recorded when each request completes
+//! rather than in an end-of-run pass, so the *internal order* of the
+//! sample vectors is completion order, not trace order — invisible to
+//! every published statistic and to `RunReport` comparisons between
+//! session-era runs.
+//!
+//! ```
+//! use aero_core::SchemeKind;
+//! use aero_ssd::{Ssd, SsdConfig};
+//! use aero_workloads::{IterSource, SyntheticWorkload};
+//!
+//! let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Aero));
+//! ssd.fill_fraction(0.5);
+//! let workload = SyntheticWorkload::default_test();
+//! let mut sim = ssd.session(IterSource::new(workload.stream(7).take(5_000)));
+//! // Warm up for 100 simulated milliseconds, then measure the rest.
+//! sim.run_until(100_000_000);
+//! let warmup = sim.snapshot();
+//! let total = sim.run_to_end();
+//! assert!(total.reads_completed + total.writes_completed >= warmup.reads_completed);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use aero_workloads::request::{IoOp, IoRequest};
+use aero_workloads::source::WorkloadSource;
+
+use crate::latency::LatencyRecorder;
+use crate::report::{ChannelStats, RunReport};
+use crate::ssd::{EraseJob, PageTxn, Ssd};
+
+/// A request that just completed, as seen by [`SimObserver`] hooks.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedRequest {
+    /// Session-wide request id (unique across every session on the drive).
+    pub id: u64,
+    /// Read or write.
+    pub op: IoOp,
+    /// When the request arrived, in simulated nanoseconds.
+    pub arrival_ns: u64,
+    /// When its last page finished, in simulated nanoseconds.
+    pub completed_at: u64,
+    /// End-to-end latency (`completed_at - arrival_ns`).
+    pub latency_ns: u64,
+}
+
+/// An erase operation that just finished paying its simulated time.
+#[derive(Debug, Clone, Copy)]
+pub struct EraseEvent {
+    /// Die the erase ran on.
+    pub die: usize,
+    /// Block that was erased.
+    pub block: u32,
+    /// Number of erase loops the scheme decided (and the die paid).
+    pub loops: usize,
+    /// Total simulated erase time across all loops, in nanoseconds.
+    pub latency_ns: u64,
+    /// Simulated time at which the erase finished.
+    pub completed_at: u64,
+}
+
+/// A garbage-collection invocation (victim selection) that just started.
+#[derive(Debug, Clone, Copy)]
+pub struct GcEvent {
+    /// Die garbage collection started on.
+    pub die: usize,
+    /// The victim block chosen for collection.
+    pub victim_block: u32,
+    /// Number of valid pages that will be migrated off the victim.
+    pub page_moves: usize,
+    /// Simulated time at which the invocation happened.
+    pub at: u64,
+}
+
+/// Instrumentation hooks into a running [`Simulation`].
+///
+/// Register observers with [`Simulation::add_observer`] (or the builder
+/// form [`Simulation::with_observer`]); every hook has a no-op default, so
+/// an observer implements only what it cares about. Hooks run synchronously
+/// inside the event loop in registration order. Events fire in **dispatch
+/// order**: a completion fires the moment the request's last page is
+/// dispatched (when its `completed_at` becomes known), which — with several
+/// dies completing work concurrently — is not necessarily sorted by
+/// `completed_at`. Observers must not assume anything about the drive
+/// beyond what the event structs carry.
+///
+/// ```
+/// use aero_ssd::session::{CompletedRequest, SimObserver};
+///
+/// #[derive(Default)]
+/// struct TailWatch {
+///     over_10ms: u64,
+/// }
+///
+/// impl SimObserver for TailWatch {
+///     fn on_request_complete(&mut self, request: &CompletedRequest) {
+///         if request.latency_ns > 10_000_000 {
+///             self.over_10ms += 1;
+///         }
+///     }
+/// }
+/// ```
+pub trait SimObserver {
+    /// A user request completed (its last page finished).
+    fn on_request_complete(&mut self, _request: &CompletedRequest) {}
+
+    /// An erase operation finished paying its simulated time.
+    fn on_erase_complete(&mut self, _erase: &EraseEvent) {}
+
+    /// Garbage collection was invoked (a victim block was selected).
+    fn on_gc_invoked(&mut self, _gc: &GcEvent) {}
+}
+
+/// Completion tracking for one in-flight request.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    arrival_ns: u64,
+    op: IoOp,
+    remaining_pages: u32,
+    completed_at: u64,
+}
+
+/// A streaming simulation run over a borrowed [`Ssd`].
+///
+/// Created by [`Ssd::session`]; see the [module docs](crate::session) for
+/// the API tour. Dropping a session mid-run is allowed: the drive keeps its
+/// (partially processed) state, and the next session starts a fresh
+/// timeline — leftover internal work (queued GC migrations, an undecided
+/// erase) is resumed at the new session's time zero, while page
+/// transactions belonging to the abandoned session's requests drain
+/// harmlessly (their ids are unique per session, so they can never complete
+/// a later session's requests).
+pub struct Simulation<'a, S> {
+    ssd: &'a mut Ssd,
+    source: S,
+    /// One request of lookahead from the source (`None` + `exhausted` =
+    /// drained).
+    lookahead: Option<IoRequest>,
+    exhausted: bool,
+    /// Arrival time of the most recently pulled request, for contract
+    /// checking (sources must yield non-decreasing arrivals).
+    last_arrival_ns: u64,
+    /// Die wake-up events only — at most one pending entry per die plus
+    /// occasional channel-busy retries, deduplicated via `Die::next_wake`.
+    events: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-request completion state: a dense slab where slot `i` holds the
+    /// request with id `in_flight_base + i` (`None` once completed). Ids
+    /// are handed out sequentially, so lookup is a subtraction instead of a
+    /// hash — this sits on the per-page hot path. Completed leading slots
+    /// are popped eagerly, so the deque spans only the window between the
+    /// oldest incomplete request and the newest admitted one.
+    in_flight: VecDeque<Option<InFlight>>,
+    /// Request id of slot 0 of `in_flight`.
+    in_flight_base: u64,
+    /// Number of `Some` entries in `in_flight`.
+    in_flight_live: usize,
+    observers: Vec<&'a mut dyn SimObserver>,
+    now: u64,
+    page_bytes: u32,
+    // Run-local measurement accumulators.
+    scheme: String,
+    reads_completed: u64,
+    writes_completed: u64,
+    read_latency: LatencyRecorder,
+    write_latency: LatencyRecorder,
+    makespan_ns: u64,
+    baseline_erase_stats: aero_core::EraseStats,
+    baseline_gc_invocations: u64,
+    baseline_gc_page_moves: u64,
+    baseline_erase_suspensions: u64,
+}
+
+impl<'a, S: WorkloadSource> Simulation<'a, S> {
+    /// Opens a session: resets per-run scheduler state, snapshots the
+    /// baselines that make reports run-local, and re-arms any die left with
+    /// internal work by an abandoned earlier session.
+    pub(crate) fn new(ssd: &'a mut Ssd, source: S) -> Self {
+        ssd.begin_run();
+        let page_bytes = ssd.config.family.geometry.page_size_bytes;
+        let scheme = ssd.config.scheme.label().to_string();
+        let baseline_erase_stats = ssd.controller.stats().clone();
+        let baseline_gc_invocations = ssd.gc_invocations;
+        let baseline_gc_page_moves = ssd.gc_page_moves;
+        let baseline_erase_suspensions = ssd.erase_suspensions;
+        let in_flight_base = ssd.next_request_id;
+        let mut sim = Simulation {
+            ssd,
+            source,
+            lookahead: None,
+            exhausted: false,
+            last_arrival_ns: 0,
+            events: BinaryHeap::new(),
+            in_flight: VecDeque::new(),
+            in_flight_base,
+            in_flight_live: 0,
+            observers: Vec::new(),
+            now: 0,
+            page_bytes,
+            scheme,
+            reads_completed: 0,
+            writes_completed: 0,
+            read_latency: LatencyRecorder::new(),
+            write_latency: LatencyRecorder::new(),
+            makespan_ns: 0,
+            baseline_erase_stats,
+            baseline_gc_invocations,
+            baseline_gc_page_moves,
+            baseline_erase_suspensions,
+        };
+        // A completed run always drains every queue, so this only fires for
+        // dies an abandoned session left mid-work; their internal traffic
+        // resumes at the new timeline's t=0.
+        for die_idx in 0..sim.ssd.dies.len() {
+            if sim.ssd.dies[die_idx].has_work() {
+                sim.schedule_wake(die_idx, 0);
+            }
+        }
+        sim
+    }
+
+    /// Registers an observer for the rest of the run.
+    pub fn add_observer(&mut self, observer: &'a mut dyn SimObserver) {
+        self.observers.push(observer);
+    }
+
+    /// Builder-style [`Simulation::add_observer`].
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'a mut dyn SimObserver) -> Self {
+        self.add_observer(observer);
+        self
+    }
+
+    /// Current simulated time in nanoseconds: the timestamp of the most
+    /// recently processed event (or the [`Simulation::run_until`] target,
+    /// whichever is later).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of requests admitted but not yet fully completed.
+    ///
+    /// "Completed" follows the scheduler's dispatch-time accounting (see
+    /// [`Simulation::snapshot`]): a request leaves this count the moment
+    /// its last page is dispatched.
+    pub fn in_flight_requests(&self) -> usize {
+        self.in_flight_live
+    }
+
+    /// Number of requests completed so far.
+    pub fn completed_requests(&self) -> u64 {
+        self.reads_completed + self.writes_completed
+    }
+
+    /// True once the source is drained and every queued event has been
+    /// processed — [`Simulation::step`] would return `false`.
+    pub fn is_finished(&mut self) -> bool {
+        self.peek_arrival().is_none() && self.events.is_empty()
+    }
+
+    /// Processes exactly one event — the next request arrival or the next
+    /// die wake-up, whichever is earlier (arrivals win ties) — and advances
+    /// [`Simulation::now`] to its timestamp. Returns `false` when the run
+    /// is finished (source drained, no pending events).
+    pub fn step(&mut self) -> bool {
+        let arrival_at = self.peek_arrival().map(|r| r.arrival_ns);
+        let die_event = self.events.peek().map(|&Reverse(key)| key);
+        // Arrivals win ties, preserving the batch replay's event order.
+        let take_arrival = match (arrival_at, die_event) {
+            (Some(at), Some((die_at, _))) => at <= die_at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return false,
+        };
+        if take_arrival {
+            let request = self
+                .lookahead
+                .take()
+                .expect("peek_arrival returned Some, so the lookahead is filled");
+            self.now = request.arrival_ns;
+            self.admit(request);
+        } else {
+            let (now, die_idx) = die_event.expect("no arrival taken implies a die event");
+            self.events.pop();
+            self.now = now;
+            // Popping the die's earliest-known wake-up forgets it; stale
+            // later entries dispatch harmlessly (dispatch re-checks
+            // `busy_until` and the work queues).
+            if self.ssd.dies[die_idx].next_wake == now {
+                self.ssd.dies[die_idx].next_wake = u64::MAX;
+            }
+            self.dispatch(die_idx, now);
+        }
+        true
+    }
+
+    /// Runs every event scheduled at or before `t_ns`, then advances
+    /// [`Simulation::now`] to at least `t_ns`. Returns the number of events
+    /// processed. Combine with [`Simulation::snapshot`] for periodic
+    /// time-series measurements or warm-up/measurement splits.
+    pub fn run_until(&mut self, t_ns: u64) -> u64 {
+        let mut steps = 0;
+        loop {
+            let arrival_at = self.peek_arrival().map(|r| r.arrival_ns);
+            let die_at = self.events.peek().map(|&Reverse((at, _))| at);
+            let next = match (arrival_at, die_at) {
+                (Some(a), Some(d)) => a.min(d),
+                (Some(a), None) => a,
+                (None, Some(d)) => d,
+                (None, None) => break,
+            };
+            if next > t_ns {
+                break;
+            }
+            self.step();
+            steps += 1;
+        }
+        self.now = self.now.max(t_ns);
+        steps
+    }
+
+    /// Runs the session to completion and returns the final run-local
+    /// report. Equivalent to stepping until [`Simulation::step`] returns
+    /// `false`, then taking a last [`Simulation::snapshot`] (but without
+    /// cloning the latency samples).
+    pub fn run_to_end(mut self) -> RunReport {
+        while self.step() {}
+        let read_latency = std::mem::take(&mut self.read_latency);
+        let write_latency = std::mem::take(&mut self.write_latency);
+        let mut report = self.report_shell();
+        report.read_latency = read_latency;
+        report.write_latency = write_latency;
+        report
+    }
+
+    /// Measures an interim run-local [`RunReport`] covering everything the
+    /// session has processed so far. Latency recorders are cloned;
+    /// erase statistics are diffed against the session-start baseline via
+    /// [`aero_core::EraseStats::diff`], exactly as the final report's are.
+    ///
+    /// Completion accounting is **dispatch-time**, as everywhere in the
+    /// simulator: a request counts as completed the moment its last page is
+    /// dispatched and its `completed_at` becomes known, which may lie a few
+    /// device-operation latencies past [`Simulation::now`]. A snapshot
+    /// taken after [`Simulation::run_until`]`(t)` therefore includes
+    /// requests whose completion timestamp falls shortly after `t`; at the
+    /// time scales of snapshot windows (seconds) versus device operations
+    /// (micro- to milliseconds) the skew is negligible, but
+    /// boundary-straddling requests are attributed to the earlier window.
+    pub fn snapshot(&self) -> RunReport {
+        let mut report = self.report_shell();
+        report.read_latency = self.read_latency.clone();
+        report.write_latency = self.write_latency.clone();
+        report
+    }
+
+    /// Everything in a report except the latency recorders.
+    fn report_shell(&self) -> RunReport {
+        RunReport {
+            scheme: self.scheme.clone(),
+            reads_completed: self.reads_completed,
+            writes_completed: self.writes_completed,
+            read_latency: LatencyRecorder::new(),
+            write_latency: LatencyRecorder::new(),
+            makespan_ns: self.makespan_ns,
+            erase_stats: self.ssd.controller.stats().diff(&self.baseline_erase_stats),
+            gc_invocations: self.ssd.gc_invocations - self.baseline_gc_invocations,
+            gc_page_moves: self.ssd.gc_page_moves - self.baseline_gc_page_moves,
+            erase_suspensions: self.ssd.erase_suspensions - self.baseline_erase_suspensions,
+            channel_stats: self
+                .ssd
+                .channels
+                .iter()
+                .map(|c| ChannelStats {
+                    transfers: c.transfers,
+                    busy_ns: c.busy_ns,
+                    waited_transfers: c.waited_transfers,
+                    wait_ns: c.wait_ns,
+                    write_deferrals: c.write_deferrals,
+                })
+                .collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop internals
+    // ------------------------------------------------------------------
+
+    /// Fills the one-request lookahead from the source (if empty) and
+    /// returns it.
+    fn peek_arrival(&mut self) -> Option<&IoRequest> {
+        if self.lookahead.is_none() && !self.exhausted {
+            match self.source.next_request() {
+                Some(request) => {
+                    debug_assert!(
+                        request.arrival_ns >= self.last_arrival_ns,
+                        "WorkloadSource contract violated: arrival {} after {}",
+                        request.arrival_ns,
+                        self.last_arrival_ns
+                    );
+                    self.last_arrival_ns = self.last_arrival_ns.max(request.arrival_ns);
+                    self.lookahead = Some(request);
+                }
+                None => self.exhausted = true,
+            }
+        }
+        self.lookahead.as_ref()
+    }
+
+    /// Admits one arriving request: registers it in the in-flight map and
+    /// enqueues its page transactions on their dies.
+    fn admit(&mut self, request: IoRequest) {
+        let now = request.arrival_ns;
+        let pages = request.page_count(self.page_bytes);
+        let first_page = request.first_page(self.page_bytes);
+        let id = self.ssd.next_request_id;
+        self.ssd.next_request_id += 1;
+        debug_assert_eq!(
+            id,
+            self.in_flight_base + self.in_flight.len() as u64,
+            "request ids are handed out densely within a session"
+        );
+        self.in_flight.push_back(Some(InFlight {
+            arrival_ns: now,
+            op: request.op,
+            remaining_pages: pages,
+            completed_at: 0,
+        }));
+        self.in_flight_live += 1;
+        for p in 0..pages {
+            let lpn = first_page + p as u64;
+            let die_idx = match request.op {
+                IoOp::Read => self
+                    .ssd
+                    .mapping
+                    .lookup(lpn)
+                    .map(|ppa| ppa.die as usize)
+                    .unwrap_or((lpn as usize) % self.ssd.dies.len()),
+                IoOp::Write => {
+                    let d = self.ssd.next_write_die;
+                    self.ssd.next_write_die = (self.ssd.next_write_die + 1) % self.ssd.dies.len();
+                    d
+                }
+            };
+            let txn = PageTxn { request: id, lpn };
+            match request.op {
+                IoOp::Read => self.ssd.dies[die_idx].user_reads.push_back(txn),
+                IoOp::Write => self.ssd.dies[die_idx].user_writes.push_back(txn),
+            }
+            self.kick_die(die_idx, now);
+        }
+    }
+
+    fn kick_die(&mut self, die_idx: usize, now: u64) {
+        let at = now.max(self.ssd.dies[die_idx].busy_until);
+        self.schedule_wake(die_idx, at);
+    }
+
+    /// Schedules a wake-up for a die at absolute time `at`, deduplicated
+    /// against the die's earliest already-pending wake-up. A strictly
+    /// earlier wake-up is always pushed, so a channel-busy deferral can
+    /// never delay newly arrived higher-priority work.
+    fn schedule_wake(&mut self, die_idx: usize, at: u64) {
+        let die = &mut self.ssd.dies[die_idx];
+        if at < die.next_wake {
+            die.next_wake = at;
+            self.events.push(Reverse((at, die_idx)));
+        }
+    }
+
+    /// Dispatches the next piece of work on a die at time `now`.
+    fn dispatch(&mut self, die_idx: usize, now: u64) {
+        if self.ssd.dies[die_idx].busy_until > now {
+            // Spurious wake-up; re-arm.
+            self.kick_die(die_idx, now);
+            return;
+        }
+        let timings = self.ssd.config.family.timings;
+        let transfer = self.ssd.config.transfer_ns;
+        let suspension = self.ssd.config.erase_suspension;
+        let channel_idx = self.ssd.channel_of(die_idx);
+
+        // Priority 1: user reads (they may suspend an in-flight erase).
+        if let Some(txn) = self.ssd.dies[die_idx].user_reads.pop_front() {
+            let erase_in_flight = self.ssd.dies[die_idx]
+                .erase_job
+                .as_ref()
+                .is_some_and(EraseJob::in_flight);
+            if erase_in_flight && !suspension {
+                // Without suspension the erase must finish first; put the read
+                // back and fall through to the erase branch.
+                self.ssd.dies[die_idx].user_reads.push_front(txn);
+                self.continue_erase(die_idx, now);
+                return;
+            }
+            if erase_in_flight {
+                // Count the pause *transition*, not every read serviced in
+                // the gap: the flag is cleared when the erase resumes.
+                let job = self.ssd.dies[die_idx]
+                    .erase_job
+                    .as_mut()
+                    .expect("in-flight erase checked above");
+                if !job.suspended {
+                    job.suspended = true;
+                    self.ssd.erase_suspensions += 1;
+                }
+            }
+            // Sense on the die's array, then move the page over the shared
+            // channel bus (waiting if a neighbor die holds it).
+            let sense_done = now + timings.read.as_nanos();
+            let done = self.ssd.channels[channel_idx].reserve(sense_done, transfer) + transfer;
+            self.complete_page(txn, done);
+            self.make_busy(die_idx, now, done - now);
+            return;
+        }
+
+        // Priority 2: an erase that has already started continues (when
+        // suspension is enabled it only runs because no reads are pending).
+        let erase_started = self.ssd.dies[die_idx]
+            .erase_job
+            .as_ref()
+            .is_some_and(EraseJob::in_flight);
+        if erase_started {
+            self.continue_erase(die_idx, now);
+            return;
+        }
+
+        // Priority 3: when the die is out of free blocks, space reclamation
+        // beats user writes.
+        let starved = self.ssd.dies[die_idx].ftl.free_block_count() == 0;
+        if starved && self.dispatch_gc_or_erase(die_idx, now) {
+            return;
+        }
+
+        // Priority 4: user writes. The data transfer *leads* the program, so
+        // a write whose channel bus is currently held by another die is
+        // deferred with a channel-busy wake-up — the die stays free for
+        // higher-priority reads in the meantime — instead of reserving the
+        // bus ahead of time.
+        if let Some(txn) = self.ssd.dies[die_idx].user_writes.pop_front() {
+            let bus_free_at = self.ssd.channels[channel_idx].busy_until;
+            if bus_free_at > now {
+                self.ssd.dies[die_idx].user_writes.push_front(txn);
+                // Count the deferral once per head-of-queue write; the wait
+                // time is charged when the write finally transfers, so
+                // re-dispatches during the wait (e.g. for a newly arrived
+                // read) cannot double-count overlapping wait windows.
+                if self.ssd.dies[die_idx].write_deferred_at.is_none() {
+                    self.ssd.dies[die_idx].write_deferred_at = Some(now);
+                    self.ssd.channels[channel_idx].write_deferrals += 1;
+                }
+                self.schedule_wake(die_idx, bus_free_at);
+                return;
+            }
+            if let Some(deferred_at) = self.ssd.dies[die_idx].write_deferred_at.take() {
+                self.ssd.channels[channel_idx].wait_ns += now - deferred_at;
+            }
+            let program_scale = self.ssd.dies[die_idx].program_scale;
+            if self.ssd.place_write(die_idx, txn.lpn).is_some() {
+                // The deferral guard above means the bus is free here: a
+                // user write never waits inside `reserve` — its bus waiting
+                // is modeled exclusively by the deferral path.
+                let start = self.ssd.channels[channel_idx].reserve(now, transfer);
+                debug_assert_eq!(start, now, "deferral guard must leave the bus free");
+                let latency = transfer + (timings.program.as_nanos() as f64 * program_scale) as u64;
+                self.complete_page(txn, now + latency);
+                self.start_gc_if_needed(die_idx, now);
+                self.make_busy(die_idx, now, latency);
+            } else {
+                // No space: requeue the write and force reclamation.
+                self.ssd.dies[die_idx].user_writes.push_front(txn);
+                self.start_gc_if_needed(die_idx, now);
+                if !self.dispatch_gc_or_erase(die_idx, now) {
+                    // Nothing to reclaim either; drop the page write to avoid
+                    // deadlock (only reachable on pathologically small
+                    // configurations). The host transfer still happened.
+                    let txn = self.ssd.dies[die_idx]
+                        .user_writes
+                        .pop_front()
+                        .expect("just requeued");
+                    let done = self.ssd.channels[channel_idx].reserve(now, transfer) + transfer;
+                    self.complete_page(txn, done);
+                    self.make_busy(die_idx, now, done - now);
+                }
+            }
+            return;
+        }
+
+        // Priority 5: background space reclamation; if it dispatches nothing
+        // the die simply goes idle.
+        self.dispatch_gc_or_erase(die_idx, now);
+    }
+
+    /// Starts GC on the die if it is low on space, notifying observers of
+    /// the invocation.
+    fn start_gc_if_needed(&mut self, die_idx: usize, now: u64) {
+        if let Some(start) = self.ssd.maybe_start_gc(die_idx) {
+            let event = GcEvent {
+                die: die_idx,
+                victim_block: start.victim_block,
+                page_moves: start.page_moves,
+                at: now,
+            };
+            for observer in &mut self.observers {
+                observer.on_gc_invoked(&event);
+            }
+        }
+    }
+
+    /// Dispatches a GC page move or starts/continues an erase job. Returns
+    /// true if any work was dispatched.
+    fn dispatch_gc_or_erase(&mut self, die_idx: usize, now: u64) -> bool {
+        let timings = self.ssd.config.family.timings;
+        let transfer = self.ssd.config.transfer_ns;
+        let pages_per_block = self.ssd.config.family.geometry.pages_per_block;
+        let channel_idx = self.ssd.channel_of(die_idx);
+        if let Some(mv) = self.ssd.dies[die_idx].gc_moves.pop_front() {
+            // Migrate one valid page: read it out over the channel bus and
+            // rewrite it on the same die (a second bus transfer through the
+            // controller, then the program).
+            let lpn =
+                self.ssd.dies[die_idx].p2l[(mv.victim_block * pages_per_block + mv.page) as usize];
+            let sense_done = now + timings.read.as_nanos();
+            let read_out_done =
+                self.ssd.channels[channel_idx].reserve(sense_done, transfer) + transfer;
+            let mut done = read_out_done;
+            let program_scale = self.ssd.dies[die_idx].program_scale;
+            if lpn != u64::MAX
+                && self.ssd.dies[die_idx]
+                    .ftl
+                    .block(mv.victim_block)
+                    .is_valid(mv.page)
+                && self.ssd.place_write(die_idx, lpn).is_some()
+            {
+                let write_in_done =
+                    self.ssd.channels[channel_idx].reserve(read_out_done, transfer) + transfer;
+                // GC rewrites pay the same wear-dependent program-latency
+                // scale as user writes (DPES trades erase stress for slower
+                // programs on *every* program, GC migrations included).
+                done = write_in_done + (timings.program.as_nanos() as f64 * program_scale) as u64;
+                self.ssd.gc_page_moves += 1;
+                self.ssd.user_pages_written -= 1; // GC rewrites are not user writes
+            }
+            self.make_busy(die_idx, now, done - now);
+            return true;
+        }
+        // Erase job: only when its victim's migrations are done.
+        let can_erase = self.ssd.dies[die_idx]
+            .erase_job
+            .as_ref()
+            .is_some_and(|j| !j.started);
+        if can_erase {
+            let block = self.ssd.dies[die_idx].erase_job.as_ref().unwrap().block;
+            let latencies = self.ssd.decide_erase(die_idx, block);
+            {
+                let job = self.ssd.dies[die_idx].erase_job.as_mut().unwrap();
+                job.loop_latencies = latencies;
+                job.started = true;
+            }
+            self.continue_erase(die_idx, now);
+            return true;
+        }
+        false
+    }
+
+    /// Pays the next erase loop (or all remaining loops when suspension is
+    /// disabled) of the die's in-flight erase job.
+    fn continue_erase(&mut self, die_idx: usize, now: u64) {
+        let suspension = self.ssd.config.erase_suspension;
+        let has_observers = !self.observers.is_empty();
+        let die = &mut self.ssd.dies[die_idx];
+        let Some(job) = die.erase_job.as_mut() else {
+            return;
+        };
+        // The erase is (re)occupying the die's array: any suspension window
+        // is over, so a later read preempting it counts as a new suspension.
+        job.suspended = false;
+        let latency = if suspension {
+            let next = job.loop_latencies.get(job.next_loop).copied().unwrap_or(0);
+            job.next_loop = (job.next_loop + 1).min(job.loop_latencies.len());
+            next
+        } else {
+            let total = job.loop_latencies[job.next_loop..].iter().sum();
+            job.next_loop = job.loop_latencies.len();
+            total
+        };
+        let finished = job.next_loop >= job.loop_latencies.len();
+        let mut erase_event = None;
+        if finished {
+            let block = job.block;
+            // The event (and its O(loops) latency sum) is only built when
+            // someone is listening.
+            if has_observers {
+                erase_event = Some(EraseEvent {
+                    die: die_idx,
+                    block,
+                    loops: job.loop_latencies.len(),
+                    latency_ns: job.loop_latencies.iter().sum(),
+                    completed_at: now + latency.max(1),
+                });
+            }
+            die.erase_job = None;
+            die.ftl.finish_erase(block);
+            // GC for this victim is over once its migrations have drained
+            // (they always have by the time the erase is dispatched; checked
+            // here for robustness rather than assumed).
+            die.gc_in_progress = !die.gc_moves.is_empty();
+        }
+        self.make_busy(die_idx, now, latency.max(1));
+        if let Some(event) = erase_event {
+            for observer in &mut self.observers {
+                observer.on_erase_complete(&event);
+            }
+        }
+    }
+
+    fn make_busy(&mut self, die_idx: usize, now: u64, latency: u64) {
+        let die = &mut self.ssd.dies[die_idx];
+        die.busy_until = now + latency;
+        if die.has_work() {
+            let at = die.busy_until;
+            self.schedule_wake(die_idx, at);
+        }
+    }
+
+    /// Marks one page of a request done at simulated time `at`; when it was
+    /// the last page, records the request's latency and notifies observers.
+    /// A transaction whose id predates this session belongs to an abandoned
+    /// earlier one and drains silently.
+    fn complete_page(&mut self, txn: PageTxn, at: u64) {
+        let Some(slot) = txn.request.checked_sub(self.in_flight_base) else {
+            return; // stale transaction from an abandoned session
+        };
+        let Some(entry) = self.in_flight.get_mut(slot as usize) else {
+            return;
+        };
+        let Some(state) = entry.as_mut() else {
+            return;
+        };
+        state.remaining_pages = state.remaining_pages.saturating_sub(1);
+        state.completed_at = state.completed_at.max(at);
+        if state.remaining_pages > 0 {
+            return;
+        }
+        let state = entry.take().expect("entry matched Some above");
+        self.in_flight_live -= 1;
+        // Pop completed leading slots so the slab spans only the window
+        // between the oldest incomplete request and the newest admitted.
+        while matches!(self.in_flight.front(), Some(None)) {
+            self.in_flight.pop_front();
+            self.in_flight_base += 1;
+        }
+        let latency = state.completed_at.saturating_sub(state.arrival_ns);
+        match state.op {
+            IoOp::Read => {
+                self.reads_completed += 1;
+                self.read_latency.record(latency);
+            }
+            IoOp::Write => {
+                self.writes_completed += 1;
+                self.write_latency.record(latency);
+            }
+        }
+        self.makespan_ns = self.makespan_ns.max(state.completed_at);
+        if !self.observers.is_empty() {
+            let event = CompletedRequest {
+                id: txn.request,
+                op: state.op,
+                arrival_ns: state.arrival_ns,
+                completed_at: state.completed_at,
+                latency_ns: latency,
+            };
+            for observer in &mut self.observers {
+                observer.on_request_complete(&event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use crate::ftl::BlockState;
+    use crate::ssd::GcMove;
+    use aero_core::SchemeKind;
+    use aero_workloads::source::TraceSource;
+    use aero_workloads::{IterSource, SyntheticWorkload, Trace};
+
+    fn in_flight_read() -> InFlight {
+        InFlight {
+            arrival_ns: 0,
+            op: IoOp::Read,
+            remaining_pages: 1,
+            completed_at: 0,
+        }
+    }
+
+    /// `erase_suspensions` counts pause transitions: a burst of reads
+    /// serviced within one inter-loop gap is one suspension, and the count
+    /// rises again only after the erase has resumed.
+    #[test]
+    fn erase_suspensions_count_pause_transitions() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        ssd.fill_fraction(0.3);
+        let trace = Trace::empty();
+        let mut sim = ssd.session(TraceSource::new(&trace));
+        for _ in 0..4 {
+            sim.in_flight.push_back(Some(in_flight_read()));
+            sim.in_flight_live += 1;
+        }
+        // An erase in flight on die 0 with plenty of loops left.
+        sim.ssd.dies[0].erase_job = Some(EraseJob {
+            block: 0,
+            loop_latencies: vec![1_000_000; 8],
+            next_loop: 0,
+            started: true,
+            suspended: false,
+        });
+        for r in 0..3 {
+            sim.ssd.dies[0]
+                .user_reads
+                .push_back(PageTxn { request: r, lpn: r });
+        }
+        let mut now = 0;
+        for _ in 0..3 {
+            sim.dispatch(0, now);
+            now = sim.ssd.dies[0].busy_until;
+        }
+        assert_eq!(
+            sim.ssd.erase_suspensions, 1,
+            "three reads in one suspension window are one suspension"
+        );
+        // No reads pending: the erase resumes (one loop).
+        sim.dispatch(0, now);
+        now = sim.ssd.dies[0].busy_until;
+        // A read preempting the erase again is a second suspension.
+        sim.ssd.dies[0]
+            .user_reads
+            .push_back(PageTxn { request: 3, lpn: 9 });
+        sim.dispatch(0, now);
+        assert_eq!(sim.ssd.erase_suspensions, 2);
+    }
+
+    /// GC rewrites pay the same wear-dependent program-latency scale as
+    /// user writes (the DPES slowdown reaches GC migrations).
+    #[test]
+    fn gc_rewrites_pay_scaled_program_latency() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        ssd.fill_fraction(0.7);
+        let victim = (0..ssd.dies[0].ftl.block_count())
+            .find(|&b| {
+                ssd.dies[0].ftl.block(b).state == BlockState::Full
+                    && ssd.dies[0].ftl.block(b).is_valid(0)
+            })
+            .expect("a 70% fill leaves full blocks on die 0");
+        let scale = 1.5;
+        let trace = Trace::empty();
+        let mut sim = ssd.session(TraceSource::new(&trace));
+        sim.ssd.dies[0].program_scale = scale;
+        sim.ssd.dies[0].chip.set_program_latency_scale(scale);
+        sim.ssd.dies[0].gc_moves.push_back(GcMove {
+            victim_block: victim,
+            page: 0,
+        });
+        sim.ssd.dies[0].gc_in_progress = true;
+        assert!(sim.dispatch_gc_or_erase(0, 0));
+        let timings = sim.ssd.config.family.timings;
+        let expected = timings.read.as_nanos()
+            + 2 * sim.ssd.config.transfer_ns
+            + (timings.program.as_nanos() as f64 * scale) as u64;
+        assert_eq!(
+            sim.ssd.dies[0].busy_until, expected,
+            "the migration must pay tR + two bus transfers + scaled tPROG"
+        );
+        assert_eq!(sim.ssd.gc_page_moves, 1);
+    }
+
+    /// Satellite regression: a prior run's leftover per-die scheduler state
+    /// (`busy_until`, `next_wake`, `write_deferred_at`) must be reset at
+    /// session start, so back-to-back runs on one drive start their
+    /// timelines at zero instead of queueing t=0 arrivals behind stale
+    /// timestamps.
+    #[test]
+    fn session_start_resets_stale_die_scheduler_state() {
+        let config = SsdConfig::small_test(SchemeKind::Baseline).with_seed(3);
+        let mut clean = Ssd::new(config.clone());
+        let mut poisoned = Ssd::new(config);
+        clean.fill_fraction(0.5);
+        poisoned.fill_fraction(0.5);
+        // Poison the scheduler clocks exactly the way a finished run leaves
+        // them (fills and preconditioning never touch them).
+        for die in &mut poisoned.dies {
+            die.busy_until = 250_000_000;
+            die.next_wake = 42;
+            die.write_deferred_at = Some(7);
+        }
+        let trace = SyntheticWorkload::default_test().generate(500, 3);
+        let clean_report = clean.run_trace(&trace);
+        let poisoned_report = poisoned.run_trace(&trace);
+        assert_eq!(
+            clean_report, poisoned_report,
+            "stale die clocks must not leak into the next run"
+        );
+    }
+
+    /// White-box demonstration of the staleness the reset addresses: a
+    /// completed run leaves dies busy into its own timeline, and opening
+    /// the next session zeroes all of it.
+    #[test]
+    fn back_to_back_runs_start_from_time_zero() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        ssd.fill_fraction(0.6);
+        let trace = SyntheticWorkload::default_test().generate(400, 11);
+        let _ = ssd.run_trace(&trace);
+        assert!(
+            ssd.dies.iter().any(|d| d.busy_until > 0),
+            "a completed run leaves stale per-die busy clocks behind"
+        );
+        let sim = ssd.session(TraceSource::new(&trace));
+        assert!(
+            sim.ssd.dies.iter().all(|d| d.busy_until == 0
+                && d.next_wake == u64::MAX
+                && d.write_deferred_at.is_none()),
+            "opening a session must reset every die's scheduler state"
+        );
+    }
+
+    /// The session API in streaming form produces the exact same report as
+    /// the `run_trace` wrapper over the materialized equivalent.
+    #[test]
+    fn streamed_session_matches_run_trace() {
+        let workload = SyntheticWorkload::default_test();
+        let trace = workload.generate(1_200, 21);
+        let mk = || {
+            let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Aero).with_seed(9));
+            ssd.fill_fraction(0.6);
+            ssd
+        };
+        let batch = mk().run_trace(&trace);
+        let streamed = mk()
+            .session(IterSource::new(workload.stream(21).take(1_200)))
+            .run_to_end();
+        assert_eq!(batch, streamed);
+    }
+
+    /// Mid-run snapshots are consistent and do not perturb the run.
+    #[test]
+    fn snapshots_are_consistent_and_nonintrusive() {
+        let workload = SyntheticWorkload::default_test();
+        let mk = || {
+            let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline).with_seed(2));
+            ssd.fill_fraction(0.6);
+            ssd
+        };
+        let mut undisturbed = mk();
+        let reference = undisturbed
+            .session(IterSource::new(workload.stream(5).take(800)))
+            .run_to_end();
+
+        let mut observed = mk();
+        let mut sim = observed.session(IterSource::new(workload.stream(5).take(800)));
+        let mut last_completed = 0;
+        let mut snapshots = 0;
+        while !sim.is_finished() {
+            sim.run_until(sim.now() + 10_000_000);
+            let snap = sim.snapshot();
+            let completed = snap.reads_completed + snap.writes_completed;
+            assert!(completed >= last_completed, "completions are monotone");
+            assert_eq!(completed, sim.completed_requests());
+            last_completed = completed;
+            snapshots += 1;
+        }
+        assert!(snapshots > 1, "the run spans several snapshot windows");
+        let final_report = sim.run_to_end();
+        assert_eq!(
+            final_report, reference,
+            "snapshots must not perturb the simulation"
+        );
+    }
+
+    /// `step` processes exactly one event at a time and ends exactly when
+    /// the run is done.
+    #[test]
+    fn stepping_reaches_the_same_end_state() {
+        let workload = SyntheticWorkload::default_test();
+        let mk = || {
+            let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline).with_seed(4));
+            ssd.fill_fraction(0.5);
+            ssd
+        };
+        let mut a = mk();
+        let reference = a
+            .session(IterSource::new(workload.stream(3).take(300)))
+            .run_to_end();
+        let mut b = mk();
+        let mut sim = b.session(IterSource::new(workload.stream(3).take(300)));
+        let mut steps = 0u64;
+        let mut last_now = 0;
+        while sim.step() {
+            assert!(sim.now() >= last_now, "simulated time is monotone");
+            last_now = sim.now();
+            steps += 1;
+        }
+        assert!(steps > 300, "every request admission is at least one step");
+        assert!(sim.is_finished());
+        assert_eq!(
+            sim.in_flight_requests(),
+            0,
+            "a drained run has no in-flight requests"
+        );
+        assert_eq!(sim.run_to_end(), reference);
+    }
+
+    /// Observers see every completion, erase, and GC invocation the report
+    /// counts, in simulated-time order.
+    #[test]
+    fn observers_see_every_event() {
+        #[derive(Default)]
+        struct Counter {
+            completions: u64,
+            reads: u64,
+            erases: u64,
+            erase_loops: u64,
+            gc_invocations: u64,
+        }
+        impl SimObserver for Counter {
+            fn on_request_complete(&mut self, request: &CompletedRequest) {
+                self.completions += 1;
+                if request.op == IoOp::Read {
+                    self.reads += 1;
+                }
+                assert_eq!(
+                    request.latency_ns,
+                    request.completed_at - request.arrival_ns
+                );
+            }
+            fn on_erase_complete(&mut self, erase: &EraseEvent) {
+                self.erases += 1;
+                self.erase_loops += erase.loops as u64;
+                assert!(erase.latency_ns > 0);
+            }
+            fn on_gc_invoked(&mut self, gc: &GcEvent) {
+                self.gc_invocations += 1;
+                // small_test geometry: 2 planes × 12 blocks, 64 pages/block.
+                assert!(gc.victim_block < 24, "victim must be a real block");
+                assert!(gc.page_moves <= 64, "moves bounded by pages per block");
+            }
+        }
+
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline).with_seed(6));
+        ssd.fill_fraction(0.7);
+        let workload = SyntheticWorkload {
+            read_ratio: 0.3,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 60_000.0,
+            footprint_bytes: 4 << 20,
+            hot_access_fraction: 0.9,
+            hot_region_fraction: 0.3,
+        };
+        let mut counter = Counter::default();
+        let report = ssd
+            .session(IterSource::new(workload.stream(1).take(2_500)))
+            .with_observer(&mut counter)
+            .run_to_end();
+        assert_eq!(
+            counter.completions,
+            report.reads_completed + report.writes_completed
+        );
+        assert_eq!(counter.reads, report.reads_completed);
+        assert_eq!(counter.erases, report.erase_stats.operations);
+        assert_eq!(counter.erase_loops, report.erase_stats.loops);
+        assert_eq!(counter.gc_invocations, report.gc_invocations);
+        assert!(counter.erases > 0, "the workload must trigger erases");
+    }
+
+    /// `run_until` advances the clock even past the last event, and
+    /// completion-ordering of the latency samples does not change report
+    /// values.
+    #[test]
+    fn run_until_advances_the_clock() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        ssd.fill_fraction(0.4);
+        let workload = SyntheticWorkload::default_test();
+        let mut sim = ssd.session(IterSource::new(workload.stream(9).take(50)));
+        let processed = sim.run_until(u64::MAX / 2);
+        assert!(processed > 50);
+        assert_eq!(sim.now(), u64::MAX / 2);
+        assert!(sim.is_finished());
+        let report = sim.snapshot();
+        assert_eq!(report.reads_completed + report.writes_completed, 50);
+        assert!(
+            report.makespan_ns < u64::MAX / 2,
+            "the makespan reflects completions, not the clock target"
+        );
+    }
+}

@@ -1,18 +1,20 @@
-//! The event-driven SSD simulator.
+//! The simulated SSD: drive state and its device-level operations.
 //!
-//! The simulator advances a nanosecond clock through two kinds of events —
-//! request arrivals and die-idle transitions — and keeps one transaction
-//! queue per die with the priority order the paper's extended MQSim uses:
-//! user reads first, then (resuming) erases, then user writes, then
-//! garbage-collection traffic, then new erase operations. Erase operations
-//! are executed loop by loop, so enabling erase suspension lets a pending
-//! user read slip in between two erase loops instead of waiting for the whole
-//! multi-millisecond erase.
+//! This module owns the **drive** — dies (each a full [`aero_nand::Chip`]
+//! with its own FTL), shared channel buses, the page mapping, and the
+//! drive-wide [`EraseController`] — plus the operations a scheduler invokes
+//! on it: placing a page write, starting garbage collection, deciding an
+//! erase. The **event loop** that advances simulated time lives in
+//! [`crate::session`]: a [`crate::Simulation`] session pulls requests from a
+//! [`aero_workloads::WorkloadSource`] and dispatches work die by die with
+//! the priority order the paper's extended MQSim uses (user reads first,
+//! then resuming erases, then user writes, then garbage-collection traffic,
+//! then new erases). [`Ssd::run_trace`] survives as a thin wrapper that
+//! opens a session over a trace and runs it to completion.
 //!
-//! Every die is a full [`aero_nand::Chip`]; every erase goes through the
-//! drive-wide [`EraseController`] and its configured scheme, so erase
-//! latencies, wear, and reliability all come from the device model rather
-//! than fixed constants.
+//! Every erase goes through the drive-wide [`EraseController`] and its
+//! configured scheme, so erase latencies, wear, and reliability all come
+//! from the device model rather than fixed constants.
 //!
 //! # Channel model
 //!
@@ -31,11 +33,10 @@
 //! a die dispatches, so such a drive behaves exactly like the previous
 //! fully-independent-die model.
 //!
-//! Hot-path notes: arrivals are consumed through a pre-sorted index (one
-//! O(n log n) sort per trace) instead of being pushed through the event
-//! heap, so the heap holds die wake-ups only — at most one per die plus
-//! the occasional channel-busy wake-up, deduplicated by each die's
-//! earliest-pending-wake time; the per-die program-latency scale is cached
+//! Hot-path notes: the session consumes arrivals straight from the pull
+//! source (the event heap holds die wake-ups only — at most one per die
+//! plus the occasional channel-busy wake-up, deduplicated by each die's
+//! earliest-pending-wake time); the per-die program-latency scale is cached
 //! and refreshed only when wear actually changes (an erase or
 //! preconditioning) rather than being derived from a wear query on every
 //! page write; the die-mean P/E-cycle count that scale depends on is a
@@ -43,8 +44,7 @@
 //! scan; and an in-flight erase walks a cursor over its decided loop
 //! latencies instead of draining a per-job `VecDeque`.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use aero_core::controller::EraseController;
 use aero_core::scheme::{BlockId, EraseScheme};
@@ -54,47 +54,50 @@ use aero_nand::chip::{Chip, ChipConfig};
 use aero_nand::geometry::PageAddr;
 use aero_nand::reliability::ecc::EccConfig;
 use aero_nand::timing::Micros;
-use aero_workloads::request::{IoOp, Trace};
+use aero_workloads::request::Trace;
+use aero_workloads::source::{TraceSource, WorkloadSource};
 
 use crate::config::SsdConfig;
 use crate::ftl::{DieFtl, PageMapping, Ppa};
-use crate::report::{ChannelStats, RunReport};
+use crate::report::RunReport;
+use crate::session::Simulation;
 
 /// A queued user page transaction.
 #[derive(Debug, Clone, Copy)]
-struct PageTxn {
-    request: usize,
-    lpn: u64,
+pub(crate) struct PageTxn {
+    /// Session-wide id of the request this page belongs to.
+    pub(crate) request: u64,
+    pub(crate) lpn: u64,
 }
 
 /// A queued garbage-collection page migration (read + rewrite within the
 /// die).
 #[derive(Debug, Clone, Copy)]
-struct GcMove {
-    victim_block: u32,
-    page: u32,
+pub(crate) struct GcMove {
+    pub(crate) victim_block: u32,
+    pub(crate) page: u32,
 }
 
 /// The (at most one) erase in flight on a die. Loop latencies are decided
 /// once when the erase is dispatched and then consumed through `next_loop`;
 /// no per-loop queue mutation is needed.
 #[derive(Debug, Clone)]
-struct EraseJob {
-    block: u32,
-    loop_latencies: Vec<u64>,
+pub(crate) struct EraseJob {
+    pub(crate) block: u32,
+    pub(crate) loop_latencies: Vec<u64>,
     /// Index of the next loop latency to pay.
-    next_loop: usize,
+    pub(crate) next_loop: usize,
     /// Whether the erase scheme has run and `loop_latencies` is populated.
-    started: bool,
+    pub(crate) started: bool,
     /// Whether the erase is currently paused in an inter-loop gap because a
     /// user read preempted it. Cleared when the next loop runs, so a burst
     /// of reads serviced in one gap counts as a single suspension.
-    suspended: bool,
+    pub(crate) suspended: bool,
 }
 
 impl EraseJob {
     /// True while decided loops remain to be paid in simulated time.
-    fn in_flight(&self) -> bool {
+    pub(crate) fn in_flight(&self) -> bool {
         self.started && self.next_loop < self.loop_latencies.len()
     }
 }
@@ -107,25 +110,25 @@ impl EraseJob {
 /// and keeps the contention counters surfaced in
 /// [`crate::report::ChannelStats`].
 #[derive(Debug, Clone, Copy, Default)]
-struct Channel {
+pub(crate) struct Channel {
     /// Simulated time until which the bus is occupied.
-    busy_until: u64,
+    pub(crate) busy_until: u64,
     /// Total bus-occupied time.
-    busy_ns: u64,
+    pub(crate) busy_ns: u64,
     /// Number of transfers carried.
-    transfers: u64,
+    pub(crate) transfers: u64,
     /// Transfers whose start was delayed by a prior reservation.
-    waited_transfers: u64,
+    pub(crate) waited_transfers: u64,
     /// Total delay (reservation waits plus write dispatch deferrals).
-    wait_ns: u64,
+    pub(crate) wait_ns: u64,
     /// User-write dispatches deferred because the bus was busy.
-    write_deferrals: u64,
+    pub(crate) write_deferrals: u64,
 }
 
 impl Channel {
     /// Reserves the bus for `duration` starting no earlier than `earliest`;
     /// returns the granted start time.
-    fn reserve(&mut self, earliest: u64, duration: u64) -> u64 {
+    pub(crate) fn reserve(&mut self, earliest: u64, duration: u64) -> u64 {
         let start = earliest.max(self.busy_until);
         if start > earliest {
             self.waited_transfers += 1;
@@ -139,57 +142,72 @@ impl Channel {
 }
 
 /// Per-die simulator state.
-struct Die {
-    chip: Chip,
-    ftl: DieFtl,
+pub(crate) struct Die {
+    pub(crate) chip: Chip,
+    pub(crate) ftl: DieFtl,
     /// Physical-page → logical-page reverse map (u64::MAX = invalid).
-    p2l: Vec<u64>,
-    busy_until: u64,
+    pub(crate) p2l: Vec<u64>,
+    pub(crate) busy_until: u64,
     /// Earliest pending wake-up event for this die in the event heap
     /// (`u64::MAX` = none known). Pushing only strictly-earlier wake-ups
     /// keeps the heap small; stale later entries are dispatched harmlessly
     /// (dispatch re-checks `busy_until` and the work queues).
-    next_wake: u64,
-    user_reads: VecDeque<PageTxn>,
-    user_writes: VecDeque<PageTxn>,
-    gc_moves: VecDeque<GcMove>,
-    erase_job: Option<EraseJob>,
-    gc_in_progress: bool,
+    pub(crate) next_wake: u64,
+    pub(crate) user_reads: VecDeque<PageTxn>,
+    pub(crate) user_writes: VecDeque<PageTxn>,
+    pub(crate) gc_moves: VecDeque<GcMove>,
+    pub(crate) erase_job: Option<EraseJob>,
+    pub(crate) gc_in_progress: bool,
     /// Cached `scheme.program_latency_scale(average_pec)`, clamped to ≥ 1.
     /// Refreshed whenever the die's wear changes (erase, preconditioning);
     /// between those points it is constant, so page writes never query wear.
-    program_scale: f64,
+    pub(crate) program_scale: f64,
     /// Running sum of every block's P/E-cycle count on this die, maintained
     /// on erase and preconditioning so the die-mean PEC is O(1) to read.
-    pec_sum: u64,
+    pub(crate) pec_sum: u64,
     /// When the head of `user_writes` was first deferred because its
     /// channel bus was busy (`None` = not deferred). The accumulated wait
     /// is charged to the channel once, when the write finally transfers.
-    write_deferred_at: Option<u64>,
+    pub(crate) write_deferred_at: Option<u64>,
 }
 
-/// Per-request completion tracking.
-struct RequestState {
-    arrival_ns: u64,
-    op: IoOp,
-    remaining_pages: u32,
-    completed_at: u64,
+impl Die {
+    /// True while the die has queued or in-flight work of any kind.
+    pub(crate) fn has_work(&self) -> bool {
+        !self.user_reads.is_empty()
+            || !self.user_writes.is_empty()
+            || !self.gc_moves.is_empty()
+            || self.erase_job.is_some()
+    }
+}
+
+/// A garbage-collection invocation just started by
+/// [`Ssd::maybe_start_gc`], reported so the session can notify observers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GcStart {
+    pub(crate) victim_block: u32,
+    pub(crate) page_moves: usize,
 }
 
 /// The simulated SSD.
 pub struct Ssd {
-    config: SsdConfig,
-    mapping: PageMapping,
-    dies: Vec<Die>,
+    pub(crate) config: SsdConfig,
+    pub(crate) mapping: PageMapping,
+    pub(crate) dies: Vec<Die>,
     /// One shared data bus per channel; die `i` is wired to channel
     /// `i / chips_per_channel`.
-    channels: Vec<Channel>,
-    controller: EraseController<Box<dyn EraseScheme>>,
-    next_write_die: usize,
-    gc_invocations: u64,
-    gc_page_moves: u64,
-    erase_suspensions: u64,
-    user_pages_written: u64,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) controller: EraseController<Box<dyn EraseScheme>>,
+    pub(crate) next_write_die: usize,
+    pub(crate) gc_invocations: u64,
+    pub(crate) gc_page_moves: u64,
+    pub(crate) erase_suspensions: u64,
+    pub(crate) user_pages_written: u64,
+    /// Session-wide request id counter. Ids are unique across every session
+    /// ever opened on this drive, so a page transaction left queued by an
+    /// abandoned session can never be mistaken for a later session's
+    /// request.
+    pub(crate) next_request_id: u64,
 }
 
 impl Ssd {
@@ -254,6 +272,7 @@ impl Ssd {
             gc_page_moves: 0,
             erase_suspensions: 0,
             user_pages_written: 0,
+            next_request_id: 0,
         };
         for die_idx in 0..ssd.dies.len() {
             ssd.refresh_program_scale(die_idx);
@@ -321,149 +340,61 @@ impl Ssd {
         }
     }
 
+    /// Opens a [`Simulation`] session that pulls requests from `source`.
+    ///
+    /// The session borrows the drive mutably: it advances simulated time
+    /// through [`Simulation::step`] / [`Simulation::run_until`] /
+    /// [`Simulation::run_to_end`] and measures a run-local [`RunReport`]
+    /// (interim via [`Simulation::snapshot`], final via
+    /// [`Simulation::run_to_end`]). Opening a session resets per-run
+    /// scheduler state — channel-bus clocks and counters, per-die busy
+    /// clocks and pending wake-ups — so a run always starts at simulated
+    /// time zero regardless of what earlier sessions left behind.
+    ///
+    /// ```
+    /// use aero_core::SchemeKind;
+    /// use aero_ssd::{Ssd, SsdConfig};
+    /// use aero_workloads::{IterSource, SyntheticWorkload};
+    ///
+    /// let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Aero));
+    /// ssd.fill_fraction(0.5);
+    /// // Stream 10k requests without materializing them.
+    /// let source = IterSource::new(SyntheticWorkload::default_test().stream(1).take(10_000));
+    /// let report = ssd.session(source).run_to_end();
+    /// assert_eq!(report.reads_completed + report.writes_completed, 10_000);
+    /// ```
+    pub fn session<S: WorkloadSource>(&mut self, source: S) -> Simulation<'_, S> {
+        Simulation::new(self, source)
+    }
+
     /// Replays a trace to completion and returns the measured report.
     ///
+    /// A thin wrapper over [`Ssd::session`] with a
+    /// [`TraceSource`] — byte-identical to driving the session API by hand.
     /// Everything in the report is **run-local**: erase statistics, GC
     /// counters, suspension counts, and channel-bus accounting cover only
     /// this replay, not preconditioning or earlier `run_trace` calls on the
     /// same drive (`RunReport::erase_stats::max_latency` is the one
     /// exception — see [`aero_core::EraseStats::diff`]).
     pub fn run_trace(&mut self, trace: &Trace) -> RunReport {
-        let page_bytes = self.config.family.geometry.page_size_bytes;
-        // Channel clocks and counters are per-run: trace arrival times start
-        // from zero, and the report must not inherit earlier runs' traffic.
+        self.session(TraceSource::new(trace)).run_to_end()
+    }
+
+    /// Resets the per-run scheduler state at the start of a session:
+    /// channel-bus clocks and counters (reports are run-local, and arrival
+    /// times restart from zero), per-die busy clocks, pending wake-ups, and
+    /// write-deferral stamps. Without the die resets, a prior run's leftover
+    /// `busy_until` would make the next run's t=0 arrivals queue behind
+    /// timestamps from a finished timeline.
+    pub(crate) fn begin_run(&mut self) {
         for channel in &mut self.channels {
             *channel = Channel::default();
         }
-        // Every write of a finished run has transferred, so these are None;
-        // cleared defensively so a stale stamp can never cross runs.
         for die in &mut self.dies {
+            die.busy_until = 0;
+            die.next_wake = u64::MAX;
             die.write_deferred_at = None;
         }
-        let baseline_gc_invocations = self.gc_invocations;
-        let baseline_gc_page_moves = self.gc_page_moves;
-        let baseline_erase_suspensions = self.erase_suspensions;
-        let mut requests: Vec<RequestState> = trace
-            .iter()
-            .map(|r| RequestState {
-                arrival_ns: r.arrival_ns,
-                op: r.op,
-                remaining_pages: r.page_count(page_bytes),
-                completed_at: 0,
-            })
-            .collect();
-
-        // Arrivals are consumed in time order through this index — one sort
-        // up front instead of heaping and unheaping every request. Ties keep
-        // trace order (stable sort), matching the former heap's
-        // (time, index) ordering.
-        let mut arrival_order: Vec<usize> = (0..trace.requests().len()).collect();
-        arrival_order.sort_by_key(|&i| trace.requests()[i].arrival_ns);
-        let mut next_arrival = 0usize;
-        // The event heap then only ever holds die wake-ups (idle
-        // transitions and channel-busy retries), deduplicated by each die's
-        // earliest-pending time in `Die::next_wake`.
-        let mut events: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-
-        let mut report = RunReport {
-            scheme: self.config.scheme.label().to_string(),
-            ..RunReport::default()
-        };
-        let baseline_erase_stats = self.controller.stats().clone();
-
-        loop {
-            let arrival = arrival_order
-                .get(next_arrival)
-                .map(|&i| (trace.requests()[i].arrival_ns, i));
-            let die_event = events.peek().map(|&Reverse(key)| key);
-            // Arrivals win ties, as with the former combined event heap.
-            let take_arrival = match (arrival, die_event) {
-                (Some((at, _)), Some((die_at, _))) => at <= die_at,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            if take_arrival {
-                let (now, index) = arrival.expect("take_arrival implies an arrival exists");
-                {
-                    next_arrival += 1;
-                    let request = trace.requests()[index];
-                    let pages = request.page_count(page_bytes);
-                    let first_page = request.first_page(page_bytes);
-                    for p in 0..pages {
-                        let lpn = first_page + p as u64;
-                        let die_idx = match request.op {
-                            IoOp::Read => self
-                                .mapping
-                                .lookup(lpn)
-                                .map(|ppa| ppa.die as usize)
-                                .unwrap_or((lpn as usize) % self.dies.len()),
-                            IoOp::Write => {
-                                let d = self.next_write_die;
-                                self.next_write_die = (self.next_write_die + 1) % self.dies.len();
-                                d
-                            }
-                        };
-                        let txn = PageTxn {
-                            request: index,
-                            lpn,
-                        };
-                        match request.op {
-                            IoOp::Read => self.dies[die_idx].user_reads.push_back(txn),
-                            IoOp::Write => self.dies[die_idx].user_writes.push_back(txn),
-                        }
-                        self.kick_die(die_idx, now, &mut events);
-                    }
-                }
-            } else {
-                let (now, die_idx) = die_event.expect("no arrival taken implies a die event");
-                events.pop();
-                // Popping the die's earliest-known wake-up forgets it; stale
-                // later entries dispatch harmlessly (dispatch re-checks
-                // `busy_until` and the work queues).
-                if self.dies[die_idx].next_wake == now {
-                    self.dies[die_idx].next_wake = u64::MAX;
-                }
-                self.dispatch(die_idx, now, &mut events, &mut requests);
-            }
-        }
-
-        // Collect per-request latencies.
-        for r in &requests {
-            if r.remaining_pages == 0 {
-                let latency = r.completed_at.saturating_sub(r.arrival_ns);
-                match r.op {
-                    IoOp::Read => {
-                        report.reads_completed += 1;
-                        report.read_latency.record(latency);
-                    }
-                    IoOp::Write => {
-                        report.writes_completed += 1;
-                        report.write_latency.record(latency);
-                    }
-                }
-                report.makespan_ns = report.makespan_ns.max(r.completed_at);
-            }
-        }
-        report.gc_invocations = self.gc_invocations - baseline_gc_invocations;
-        report.gc_page_moves = self.gc_page_moves - baseline_gc_page_moves;
-        report.erase_suspensions = self.erase_suspensions - baseline_erase_suspensions;
-        // Only report erases performed during this run: a full-snapshot
-        // diff, so loops, latency, stress, and the loop histogram are
-        // run-local alongside the operation count.
-        report.erase_stats = self.controller.stats().diff(&baseline_erase_stats);
-        report.channel_stats = self
-            .channels
-            .iter()
-            .map(|c| ChannelStats {
-                transfers: c.transfers,
-                busy_ns: c.busy_ns,
-                waited_transfers: c.waited_transfers,
-                wait_ns: c.wait_ns,
-                write_deferrals: c.write_deferrals,
-            })
-            .collect();
-        report
     }
 
     /// Number of user pages written (including preconditioning fills).
@@ -477,47 +408,19 @@ impl Ssd {
     }
 
     // ------------------------------------------------------------------
-    // Internals
+    // Internals (drive-level operations invoked by the session scheduler)
     // ------------------------------------------------------------------
 
     /// The channel whose bus serves a die.
-    fn channel_of(&self, die_idx: usize) -> usize {
+    pub(crate) fn channel_of(&self, die_idx: usize) -> usize {
         die_idx / self.config.chips_per_channel as usize
-    }
-
-    fn kick_die(
-        &mut self,
-        die_idx: usize,
-        now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
-    ) {
-        let at = now.max(self.dies[die_idx].busy_until);
-        self.schedule_wake(die_idx, at, events);
-    }
-
-    /// Schedules a wake-up for a die at absolute time `at`, deduplicated
-    /// against the die's earliest already-pending wake-up. Unlike the old
-    /// single-pending-event scheme, a strictly earlier wake-up is always
-    /// pushed, so a channel-busy deferral can never delay newly arrived
-    /// higher-priority work.
-    fn schedule_wake(
-        &mut self,
-        die_idx: usize,
-        at: u64,
-        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
-    ) {
-        let die = &mut self.dies[die_idx];
-        if at < die.next_wake {
-            die.next_wake = at;
-            events.push(Reverse((at, die_idx)));
-        }
     }
 
     /// Places one logical page write on a die: allocates a frontier slot,
     /// updates the mapping, invalidates the previous location, and programs
     /// the chip. Returns the physical placement, or `None` if the die has no
     /// space (caller must free space first).
-    fn place_write(&mut self, die_idx: usize, lpn: u64) -> Option<Ppa> {
+    pub(crate) fn place_write(&mut self, die_idx: usize, lpn: u64) -> Option<Ppa> {
         let pages_per_block = self.config.family.geometry.pages_per_block;
         let die = &mut self.dies[die_idx];
         let (block, page, _) = die.ftl.allocate_page()?;
@@ -541,7 +444,7 @@ impl Ssd {
         Some(ppa)
     }
 
-    fn average_pec(&self, die_idx: usize) -> u32 {
+    pub(crate) fn average_pec(&self, die_idx: usize) -> u32 {
         // The die's true mean P/E-cycle count, rounded to the nearest
         // cycle. The running sum is maintained on every erase and
         // preconditioning pass, so this is O(1) and — unlike the previous
@@ -566,24 +469,26 @@ impl Ssd {
         die.chip.set_program_latency_scale(scale);
     }
 
-    /// Starts garbage collection on a die if it is running low on free blocks.
-    fn maybe_start_gc(&mut self, die_idx: usize) {
+    /// Starts garbage collection on a die if it is running low on free
+    /// blocks. Returns a description of the invocation when one started, so
+    /// the session can notify its observers.
+    pub(crate) fn maybe_start_gc(&mut self, die_idx: usize) -> Option<GcStart> {
         let threshold = self.config.gc_threshold_free_blocks;
         let die = &mut self.dies[die_idx];
         if die.gc_in_progress || die.ftl.free_block_count() > threshold {
-            return;
+            return None;
         }
-        let Some(victim) = die.ftl.pick_gc_victim() else {
-            return;
-        };
+        let victim = die.ftl.pick_gc_victim()?;
         die.gc_in_progress = true;
         self.gc_invocations += 1;
         die.ftl.start_collecting(victim);
+        let mut page_moves = 0;
         for page in die.ftl.block(victim).valid_page_indices() {
             die.gc_moves.push_back(GcMove {
                 victim_block: victim,
                 page,
             });
+            page_moves += 1;
         }
         // The erase decision (scheme, loop latencies) is made when the erase
         // job is dispatched, so it sees the block's wear at that point.
@@ -594,11 +499,15 @@ impl Ssd {
             started: false,
             suspended: false,
         });
+        Some(GcStart {
+            victim_block: victim,
+            page_moves,
+        })
     }
 
     /// Runs the erase scheme for a block and returns the per-loop latencies to
     /// pay in simulated time.
-    fn decide_erase(&mut self, die_idx: usize, block: u32) -> Vec<u64> {
+    pub(crate) fn decide_erase(&mut self, die_idx: usize, block: u32) -> Vec<u64> {
         let blocks_per_die = self.config.family.geometry.total_blocks() as usize;
         let addr = self.config.family.geometry.block_addr(block as usize);
         let block_id = BlockId(die_idx * blocks_per_die + block as usize);
@@ -630,264 +539,11 @@ impl Ssd {
         self.refresh_program_scale(die_idx);
         latencies
     }
-
-    /// Dispatches the next piece of work on a die at time `now`.
-    fn dispatch(
-        &mut self,
-        die_idx: usize,
-        now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
-        requests: &mut [RequestState],
-    ) {
-        if self.dies[die_idx].busy_until > now {
-            // Spurious wake-up; re-arm.
-            self.kick_die(die_idx, now, events);
-            return;
-        }
-        let timings = self.config.family.timings;
-        let transfer = self.config.transfer_ns;
-        let suspension = self.config.erase_suspension;
-        let channel_idx = self.channel_of(die_idx);
-
-        // Priority 1: user reads (they may suspend an in-flight erase).
-        if let Some(txn) = self.dies[die_idx].user_reads.pop_front() {
-            let erase_in_flight = self.dies[die_idx]
-                .erase_job
-                .as_ref()
-                .is_some_and(EraseJob::in_flight);
-            if erase_in_flight && !suspension {
-                // Without suspension the erase must finish first; put the read
-                // back and fall through to the erase branch.
-                self.dies[die_idx].user_reads.push_front(txn);
-                self.continue_erase(die_idx, now, events);
-                return;
-            }
-            if erase_in_flight {
-                // Count the pause *transition*, not every read serviced in
-                // the gap: the flag is cleared when the erase resumes.
-                let job = self.dies[die_idx]
-                    .erase_job
-                    .as_mut()
-                    .expect("in-flight erase checked above");
-                if !job.suspended {
-                    job.suspended = true;
-                    self.erase_suspensions += 1;
-                }
-            }
-            // Sense on the die's array, then move the page over the shared
-            // channel bus (waiting if a neighbor die holds it).
-            let sense_done = now + timings.read.as_nanos();
-            let done = self.channels[channel_idx].reserve(sense_done, transfer) + transfer;
-            self.complete_page(txn, done, requests);
-            self.make_busy(die_idx, now, done - now, events);
-            return;
-        }
-
-        // Priority 2: an erase that has already started continues (when
-        // suspension is enabled it only runs because no reads are pending).
-        let erase_started = self.dies[die_idx]
-            .erase_job
-            .as_ref()
-            .is_some_and(EraseJob::in_flight);
-        if erase_started {
-            self.continue_erase(die_idx, now, events);
-            return;
-        }
-
-        // Priority 3: when the die is out of free blocks, space reclamation
-        // beats user writes.
-        let starved = self.dies[die_idx].ftl.free_block_count() == 0;
-        if starved && self.dispatch_gc_or_erase(die_idx, now, events) {
-            return;
-        }
-
-        // Priority 4: user writes. The data transfer *leads* the program, so
-        // a write whose channel bus is currently held by another die is
-        // deferred with a channel-busy wake-up — the die stays free for
-        // higher-priority reads in the meantime — instead of reserving the
-        // bus ahead of time.
-        if let Some(txn) = self.dies[die_idx].user_writes.pop_front() {
-            let bus_free_at = self.channels[channel_idx].busy_until;
-            if bus_free_at > now {
-                self.dies[die_idx].user_writes.push_front(txn);
-                // Count the deferral once per head-of-queue write; the wait
-                // time is charged when the write finally transfers, so
-                // re-dispatches during the wait (e.g. for a newly arrived
-                // read) cannot double-count overlapping wait windows.
-                if self.dies[die_idx].write_deferred_at.is_none() {
-                    self.dies[die_idx].write_deferred_at = Some(now);
-                    self.channels[channel_idx].write_deferrals += 1;
-                }
-                self.schedule_wake(die_idx, bus_free_at, events);
-                return;
-            }
-            if let Some(deferred_at) = self.dies[die_idx].write_deferred_at.take() {
-                self.channels[channel_idx].wait_ns += now - deferred_at;
-            }
-            let program_scale = self.dies[die_idx].program_scale;
-            if self.place_write(die_idx, txn.lpn).is_some() {
-                // The deferral guard above means the bus is free here: a
-                // user write never waits inside `reserve` — its bus waiting
-                // is modeled exclusively by the deferral path.
-                let start = self.channels[channel_idx].reserve(now, transfer);
-                debug_assert_eq!(start, now, "deferral guard must leave the bus free");
-                let latency = transfer + (timings.program.as_nanos() as f64 * program_scale) as u64;
-                self.complete_page(txn, now + latency, requests);
-                self.maybe_start_gc(die_idx);
-                self.make_busy(die_idx, now, latency, events);
-            } else {
-                // No space: requeue the write and force reclamation.
-                self.dies[die_idx].user_writes.push_front(txn);
-                self.maybe_start_gc(die_idx);
-                if !self.dispatch_gc_or_erase(die_idx, now, events) {
-                    // Nothing to reclaim either; drop the page write to avoid
-                    // deadlock (only reachable on pathologically small
-                    // configurations). The host transfer still happened.
-                    let txn = self.dies[die_idx]
-                        .user_writes
-                        .pop_front()
-                        .expect("just requeued");
-                    let done = self.channels[channel_idx].reserve(now, transfer) + transfer;
-                    self.complete_page(txn, done, requests);
-                    self.make_busy(die_idx, now, done - now, events);
-                }
-            }
-            return;
-        }
-
-        // Priority 5: background space reclamation; if it dispatches nothing
-        // the die simply goes idle.
-        self.dispatch_gc_or_erase(die_idx, now, events);
-    }
-
-    /// Dispatches a GC page move or starts/continues an erase job. Returns
-    /// true if any work was dispatched.
-    fn dispatch_gc_or_erase(
-        &mut self,
-        die_idx: usize,
-        now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
-    ) -> bool {
-        let timings = self.config.family.timings;
-        let transfer = self.config.transfer_ns;
-        let pages_per_block = self.config.family.geometry.pages_per_block;
-        let channel_idx = self.channel_of(die_idx);
-        if let Some(mv) = self.dies[die_idx].gc_moves.pop_front() {
-            // Migrate one valid page: read it out over the channel bus and
-            // rewrite it on the same die (a second bus transfer through the
-            // controller, then the program).
-            let lpn =
-                self.dies[die_idx].p2l[(mv.victim_block * pages_per_block + mv.page) as usize];
-            let sense_done = now + timings.read.as_nanos();
-            let read_out_done = self.channels[channel_idx].reserve(sense_done, transfer) + transfer;
-            let mut done = read_out_done;
-            let program_scale = self.dies[die_idx].program_scale;
-            if lpn != u64::MAX
-                && self.dies[die_idx]
-                    .ftl
-                    .block(mv.victim_block)
-                    .is_valid(mv.page)
-                && self.place_write(die_idx, lpn).is_some()
-            {
-                let write_in_done =
-                    self.channels[channel_idx].reserve(read_out_done, transfer) + transfer;
-                // GC rewrites pay the same wear-dependent program-latency
-                // scale as user writes (DPES trades erase stress for slower
-                // programs on *every* program, GC migrations included).
-                done = write_in_done + (timings.program.as_nanos() as f64 * program_scale) as u64;
-                self.gc_page_moves += 1;
-                self.user_pages_written -= 1; // GC rewrites are not user writes
-            }
-            self.make_busy(die_idx, now, done - now, events);
-            return true;
-        }
-        // Erase job: only when its victim's migrations are done.
-        let can_erase = self.dies[die_idx]
-            .erase_job
-            .as_ref()
-            .is_some_and(|j| !j.started);
-        if can_erase {
-            let block = self.dies[die_idx].erase_job.as_ref().unwrap().block;
-            let latencies = self.decide_erase(die_idx, block);
-            {
-                let job = self.dies[die_idx].erase_job.as_mut().unwrap();
-                job.loop_latencies = latencies;
-                job.started = true;
-            }
-            self.continue_erase(die_idx, now, events);
-            return true;
-        }
-        false
-    }
-
-    /// Pays the next erase loop (or all remaining loops when suspension is
-    /// disabled) of the die's in-flight erase job.
-    fn continue_erase(
-        &mut self,
-        die_idx: usize,
-        now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
-    ) {
-        let suspension = self.config.erase_suspension;
-        let die = &mut self.dies[die_idx];
-        let Some(job) = die.erase_job.as_mut() else {
-            return;
-        };
-        // The erase is (re)occupying the die's array: any suspension window
-        // is over, so a later read preempting it counts as a new suspension.
-        job.suspended = false;
-        let latency = if suspension {
-            let next = job.loop_latencies.get(job.next_loop).copied().unwrap_or(0);
-            job.next_loop = (job.next_loop + 1).min(job.loop_latencies.len());
-            next
-        } else {
-            let total = job.loop_latencies[job.next_loop..].iter().sum();
-            job.next_loop = job.loop_latencies.len();
-            total
-        };
-        let finished = job.next_loop >= job.loop_latencies.len();
-        if finished {
-            let block = job.block;
-            die.erase_job = None;
-            die.ftl.finish_erase(block);
-            // GC for this victim is over once its migrations have drained
-            // (they always have by the time the erase is dispatched; checked
-            // here for robustness rather than assumed).
-            die.gc_in_progress = !die.gc_moves.is_empty();
-        }
-        self.make_busy(die_idx, now, latency.max(1), events);
-    }
-
-    fn make_busy(
-        &mut self,
-        die_idx: usize,
-        now: u64,
-        latency: u64,
-        events: &mut BinaryHeap<Reverse<(u64, usize)>>,
-    ) {
-        let die = &mut self.dies[die_idx];
-        die.busy_until = now + latency;
-        let has_work = !die.user_reads.is_empty()
-            || !die.user_writes.is_empty()
-            || !die.gc_moves.is_empty()
-            || die.erase_job.is_some();
-        if has_work {
-            let at = die.busy_until;
-            self.schedule_wake(die_idx, at, events);
-        }
-    }
-
-    fn complete_page(&mut self, txn: PageTxn, at: u64, requests: &mut [RequestState]) {
-        let r = &mut requests[txn.request];
-        r.remaining_pages = r.remaining_pages.saturating_sub(1);
-        r.completed_at = r.completed_at.max(at);
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ftl::BlockState;
     use aero_core::SchemeKind;
     use aero_nand::geometry::BlockAddr;
     use aero_workloads::SyntheticWorkload;
@@ -1179,39 +835,6 @@ mod tests {
         );
     }
 
-    /// GC rewrites pay the same wear-dependent program-latency scale as
-    /// user writes (the DPES slowdown reaches GC migrations).
-    #[test]
-    fn gc_rewrites_pay_scaled_program_latency() {
-        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
-        ssd.fill_fraction(0.7);
-        let victim = (0..ssd.dies[0].ftl.block_count())
-            .find(|&b| {
-                ssd.dies[0].ftl.block(b).state == BlockState::Full
-                    && ssd.dies[0].ftl.block(b).is_valid(0)
-            })
-            .expect("a 70% fill leaves full blocks on die 0");
-        let scale = 1.5;
-        ssd.dies[0].program_scale = scale;
-        ssd.dies[0].chip.set_program_latency_scale(scale);
-        ssd.dies[0].gc_moves.push_back(GcMove {
-            victim_block: victim,
-            page: 0,
-        });
-        ssd.dies[0].gc_in_progress = true;
-        let mut events = BinaryHeap::new();
-        assert!(ssd.dispatch_gc_or_erase(0, 0, &mut events));
-        let timings = ssd.config.family.timings;
-        let expected = timings.read.as_nanos()
-            + 2 * ssd.config.transfer_ns
-            + (timings.program.as_nanos() as f64 * scale) as u64;
-        assert_eq!(
-            ssd.dies[0].busy_until, expected,
-            "the migration must pay tR + two bus transfers + scaled tPROG"
-        );
-        assert_eq!(ssd.gc_page_moves, 1);
-    }
-
     /// `fill_fraction` retries the next die instead of silently dropping
     /// pages when the round-robin target is out of space.
     #[test]
@@ -1243,56 +866,6 @@ mod tests {
         // twice genuinely exhausts physical space; that must be loud.
         ssd.fill_fraction(1.0);
         ssd.fill_fraction(1.0);
-    }
-
-    /// `erase_suspensions` counts pause transitions: a burst of reads
-    /// serviced within one inter-loop gap is one suspension, and the count
-    /// rises again only after the erase has resumed.
-    #[test]
-    fn erase_suspensions_count_pause_transitions() {
-        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
-        ssd.fill_fraction(0.3);
-        let mut events = BinaryHeap::new();
-        let mut requests: Vec<RequestState> = (0..4)
-            .map(|_| RequestState {
-                arrival_ns: 0,
-                op: IoOp::Read,
-                remaining_pages: 1,
-                completed_at: 0,
-            })
-            .collect();
-        // An erase in flight on die 0 with plenty of loops left.
-        ssd.dies[0].erase_job = Some(EraseJob {
-            block: 0,
-            loop_latencies: vec![1_000_000; 8],
-            next_loop: 0,
-            started: true,
-            suspended: false,
-        });
-        for r in 0..3 {
-            ssd.dies[0].user_reads.push_back(PageTxn {
-                request: r,
-                lpn: r as u64,
-            });
-        }
-        let mut now = 0;
-        for _ in 0..3 {
-            ssd.dispatch(0, now, &mut events, &mut requests);
-            now = ssd.dies[0].busy_until;
-        }
-        assert_eq!(
-            ssd.erase_suspensions, 1,
-            "three reads in one suspension window are one suspension"
-        );
-        // No reads pending: the erase resumes (one loop).
-        ssd.dispatch(0, now, &mut events, &mut requests);
-        now = ssd.dies[0].busy_until;
-        // A read preempting the erase again is a second suspension.
-        ssd.dies[0]
-            .user_reads
-            .push_back(PageTxn { request: 3, lpn: 9 });
-        ssd.dispatch(0, now, &mut events, &mut requests);
-        assert_eq!(ssd.erase_suspensions, 2);
     }
 
     /// The program-latency scale is driven by the die's true mean PEC, not

@@ -13,17 +13,30 @@
 //! * [`catalog`] — the eleven workloads of Table 3, each expressed as a
 //!   synthetic-generator configuration (with the MSRC 10× arrival-time
 //!   acceleration the paper applies);
-//! * [`trace`] — MSR-Cambridge-format CSV parsing, so users who do have the
-//!   original traces can replay them directly;
+//! * [`trace`] — MSR-Cambridge-format CSV parsing (eager and line-by-line
+//!   streaming), so users who do have the original traces can replay them
+//!   directly;
+//! * [`source`] — the [`WorkloadSource`] pull interface the SSD simulator's
+//!   session API consumes, with adapters for traces ([`TraceSource`]) and
+//!   arbitrary request iterators ([`IterSource`]);
 //! * [`precondition`] — sequential fill workloads used to bring a simulated
 //!   SSD to a steady utilization before measurement.
+//!
+//! Workloads can be **materialized** (a [`Trace`] holding every request) or
+//! **streamed** (a [`WorkloadSource`] yielding requests one at a time with
+//! O(1) memory — see [`SyntheticWorkload::stream`] and
+//! [`trace::MsrcSource`]):
 //!
 //! ```
 //! use aero_workloads::catalog::WorkloadId;
 //!
 //! let spec = WorkloadId::AliA.spec();
+//! // Materialized: a bounded, sorted Vec of requests.
 //! let trace = spec.generate(2_000, 42);
 //! assert_eq!(trace.len(), 2_000);
+//! // Streamed: the same request sequence, generated lazily.
+//! let streamed: Vec<_> = spec.synthetic().stream(42).take(2_000).collect();
+//! assert_eq!(streamed.as_slice(), trace.requests());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -32,9 +45,11 @@
 pub mod catalog;
 pub mod precondition;
 pub mod request;
+pub mod source;
 pub mod synth;
 pub mod trace;
 
 pub use catalog::{WorkloadId, WorkloadSpec};
 pub use request::{IoOp, IoRequest, Trace};
-pub use synth::SyntheticWorkload;
+pub use source::{IterSource, TraceSource, WorkloadSource};
+pub use synth::{SyntheticStream, SyntheticWorkload};

@@ -36,19 +36,36 @@ pub struct IoRequest {
 }
 
 impl IoRequest {
-    /// Number of logical 4 KiB pages the request touches (the FTL mapping
+    /// Number of logical pages the request touches (the FTL mapping
     /// granularity used by the simulator).
+    ///
+    /// The count is computed in 64-bit arithmetic and saturates: at `u64`
+    /// range on the byte offsets (an `lba` near `u64::MAX` cannot wrap when
+    /// scaled to bytes) and at `u32::MAX` pages on the result (reachable
+    /// only with a pathological `size_bytes`/`page_bytes` combination, e.g.
+    /// a 4 GiB request against sub-512-byte pages). A request always touches
+    /// at least one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is zero.
     pub fn page_count(&self, page_bytes: u32) -> u32 {
-        let start = self.lba * 512;
-        let end = start + self.size_bytes as u64;
+        assert!(page_bytes > 0, "page size must be non-zero");
+        let start = self.lba.saturating_mul(512);
+        let end = start.saturating_add(self.size_bytes as u64);
         let first = start / page_bytes as u64;
         let last = end.div_ceil(page_bytes as u64);
-        (last - first).max(1) as u32
+        u32::try_from(last - first).unwrap_or(u32::MAX).max(1)
     }
 
     /// First logical page number the request touches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is zero.
     pub fn first_page(&self, page_bytes: u32) -> u64 {
-        self.lba * 512 / page_bytes as u64
+        assert!(page_bytes > 0, "page size must be non-zero");
+        self.lba.saturating_mul(512) / page_bytes as u64
     }
 }
 
@@ -184,6 +201,29 @@ mod tests {
         let r = req(0, IoOp::Read, 16, 16 * 1024);
         assert_eq!(r.page_count(page), 2);
         assert_eq!(r.first_page(page), 0);
+    }
+
+    #[test]
+    fn page_count_saturates_on_pathological_inputs() {
+        // A 4 GiB request against 1-byte pages overflows u32 page counts;
+        // the count saturates instead of wrapping.
+        let r = req(0, IoOp::Write, 0, u32::MAX);
+        assert_eq!(r.page_count(1), u32::MAX);
+        // An lba near u64::MAX cannot wrap when scaled to bytes; the byte
+        // range saturates and the request still touches at least one page.
+        let r = req(0, IoOp::Read, u64::MAX, 4096);
+        assert!(r.page_count(16 * 1024) >= 1);
+        assert_eq!(r.first_page(16 * 1024), u64::MAX / (16 * 1024));
+        // Zero-byte requests still count one page (they occupy a slot in the
+        // scheduler); the workload layers reject generating them.
+        let r = req(0, IoOp::Read, 8, 0);
+        assert_eq!(r.page_count(16 * 1024), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be non-zero")]
+    fn zero_page_size_rejected() {
+        let _ = req(0, IoOp::Read, 0, 4096).page_count(0);
     }
 
     #[test]

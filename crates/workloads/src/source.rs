@@ -1,0 +1,241 @@
+//! Pull-based request sources for driving a simulation.
+//!
+//! A [`WorkloadSource`] yields [`IoRequest`]s one at a time, in
+//! non-decreasing `arrival_ns` order, so a simulator can consume a workload
+//! without ever materializing it: a 10-million-request run pulls requests as
+//! simulated time advances and needs O(1) workload memory. Three kinds of
+//! source cover the common cases:
+//!
+//! * [`TraceSource`] — replays an in-memory [`Trace`] (or any request
+//!   slice), sorting its arrival order exactly the way the simulator's
+//!   legacy batch path did;
+//! * [`crate::synth::SyntheticStream`] — generates requests on the fly from
+//!   a seeded [`crate::SyntheticWorkload`] (obtained via
+//!   [`crate::SyntheticWorkload::stream`]);
+//! * [`crate::trace::MsrcSource`] — parses an MSR-Cambridge-format trace
+//!   line by line.
+//!
+//! [`IterSource`] adapts any `Iterator<Item = IoRequest>`, which makes the
+//! whole standard iterator toolbox (`take`, `filter`, `chain`, …) available
+//! for bounding or composing workloads:
+//!
+//! ```
+//! use aero_workloads::{IterSource, SyntheticWorkload, WorkloadSource};
+//!
+//! // One million requests, generated lazily: no Vec is ever built.
+//! let mut source = IterSource::new(
+//!     SyntheticWorkload::default_test().stream(42).take(1_000_000),
+//! );
+//! let first = source.next_request().expect("stream is non-empty");
+//! assert!(first.size_bytes >= 4096);
+//! ```
+
+use crate::request::{IoRequest, Trace};
+
+/// A pull-based source of I/O requests.
+///
+/// # Contract
+///
+/// Successive calls to [`next_request`](WorkloadSource::next_request) must
+/// yield requests in **non-decreasing `arrival_ns` order** — the simulator
+/// consumes arrivals as simulated time advances and never looks back. The
+/// sources in this crate all uphold the contract ([`TraceSource`] by
+/// sorting, the generators by construction, [`IterSource`] by clamping);
+/// custom implementations must uphold it themselves.
+pub trait WorkloadSource {
+    /// Yields the next request, or `None` when the workload is exhausted.
+    ///
+    /// Once `None` is returned, every later call must return `None` too.
+    fn next_request(&mut self) -> Option<IoRequest>;
+}
+
+impl<S: WorkloadSource + ?Sized> WorkloadSource for &mut S {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        (**self).next_request()
+    }
+}
+
+/// Replays a borrowed request slice in arrival order.
+///
+/// The slice is consumed through a stably pre-sorted index — byte-identical
+/// to the arrival order the legacy `run_trace` batch path used (ties keep
+/// slice order) — so replaying a [`Trace`] through a session reproduces the
+/// batch results exactly.
+#[derive(Debug)]
+pub struct TraceSource<'a> {
+    requests: &'a [IoRequest],
+    /// Indices of `requests` stably sorted by arrival time.
+    order: Vec<usize>,
+    next: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Builds a source over a trace.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceSource::from_slice(trace.requests())
+    }
+
+    /// Builds a source over a raw request slice.
+    pub fn from_slice(requests: &'a [IoRequest]) -> Self {
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| requests[i].arrival_ns);
+        TraceSource {
+            requests,
+            order,
+            next: 0,
+        }
+    }
+
+    /// Number of requests not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.order.len() - self.next
+    }
+}
+
+impl WorkloadSource for TraceSource<'_> {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let &index = self.order.get(self.next)?;
+        self.next += 1;
+        Some(self.requests[index])
+    }
+}
+
+/// Requests pulled from the underlying iterator per refill burst of an
+/// [`IterSource`]. Small enough that buffered requests stay cache-resident
+/// (a few KiB), large enough that a generator's state (e.g. a ChaCha RNG)
+/// stays hot across a burst instead of being re-touched cold for every
+/// simulated arrival — pulling one request at a time interleaved with
+/// simulator work costs measurably more than bursts.
+const ITER_CHUNK: usize = 256;
+
+/// Adapts any request iterator into a [`WorkloadSource`].
+///
+/// Requests are pulled from the iterator in bursts of a few hundred into a
+/// small constant-size buffer (memory stays O(1) in the workload length) so
+/// that generator-heavy iterators — like a [`crate::synth::SyntheticStream`]
+/// bounded with [`Iterator::take`] — run their tight generation loop with
+/// warm state instead of alternating with simulator work on every request.
+///
+/// The adapter also enforces the source contract defensively: a request
+/// arriving earlier than its predecessor is clamped to the predecessor's
+/// arrival time (and trips a debug assertion, since it means the underlying
+/// iterator violated the documented ordering). Ordered-by-construction
+/// iterators pass through unchanged.
+#[derive(Debug)]
+pub struct IterSource<I> {
+    iter: I,
+    /// Refill buffer; `next` indexes into it.
+    buffer: Vec<IoRequest>,
+    next: usize,
+    last_arrival_ns: u64,
+}
+
+impl<I: Iterator<Item = IoRequest>> IterSource<I> {
+    /// Wraps an iterator of requests.
+    pub fn new(iter: I) -> Self {
+        IterSource {
+            iter,
+            buffer: Vec::new(),
+            next: 0,
+            last_arrival_ns: 0,
+        }
+    }
+
+    /// Refills the buffer with one burst from the iterator, applying the
+    /// ordering contract. Returns false when the iterator is exhausted.
+    #[cold]
+    fn refill(&mut self) -> bool {
+        self.buffer.clear();
+        self.next = 0;
+        for _ in 0..ITER_CHUNK {
+            let Some(mut request) = self.iter.next() else {
+                break;
+            };
+            debug_assert!(
+                request.arrival_ns >= self.last_arrival_ns,
+                "IterSource requires non-decreasing arrival times \
+                 (got {} after {})",
+                request.arrival_ns,
+                self.last_arrival_ns
+            );
+            request.arrival_ns = request.arrival_ns.max(self.last_arrival_ns);
+            self.last_arrival_ns = request.arrival_ns;
+            self.buffer.push(request);
+        }
+        !self.buffer.is_empty()
+    }
+}
+
+impl<I: Iterator<Item = IoRequest>> WorkloadSource for IterSource<I> {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        if self.next >= self.buffer.len() && !self.refill() {
+            return None;
+        }
+        let request = self.buffer[self.next];
+        self.next += 1;
+        Some(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoOp;
+
+    fn req(t: u64, lba: u64) -> IoRequest {
+        IoRequest {
+            arrival_ns: t,
+            op: IoOp::Read,
+            lba,
+            size_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn trace_source_yields_stable_sorted_order() {
+        // Two requests tie at t=5: slice order must be preserved (stable),
+        // matching the legacy batch replay.
+        let requests = vec![req(5, 100), req(1, 0), req(5, 200), req(3, 50)];
+        let trace = {
+            let mut t = Trace::empty();
+            for r in &requests {
+                t.push(*r);
+            }
+            t
+        };
+        let mut source = TraceSource::new(&trace);
+        assert_eq!(source.remaining(), 4);
+        let order: Vec<u64> = std::iter::from_fn(|| source.next_request())
+            .map(|r| r.lba)
+            .collect();
+        assert_eq!(order, vec![0, 50, 100, 200]);
+        assert_eq!(source.remaining(), 0);
+        assert_eq!(source.next_request(), None);
+    }
+
+    #[test]
+    fn iter_source_passes_ordered_requests_through() {
+        let mut source = IterSource::new(vec![req(1, 0), req(1, 1), req(9, 2)].into_iter());
+        assert_eq!(source.next_request().unwrap().arrival_ns, 1);
+        assert_eq!(source.next_request().unwrap().arrival_ns, 1);
+        assert_eq!(source.next_request().unwrap().arrival_ns, 9);
+        assert_eq!(source.next_request(), None);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-decreasing"))]
+    fn iter_source_clamps_regressions_and_asserts_in_debug() {
+        let mut source = IterSource::new(vec![req(10, 0), req(4, 1)].into_iter());
+        assert_eq!(source.next_request().unwrap().arrival_ns, 10);
+        // In release builds the regression is clamped instead of panicking.
+        assert_eq!(source.next_request().unwrap().arrival_ns, 10);
+    }
+
+    #[test]
+    fn mut_reference_is_a_source_too() {
+        let mut inner = IterSource::new(vec![req(2, 7)].into_iter());
+        let source: &mut dyn WorkloadSource = &mut inner;
+        assert_eq!(source.next_request().unwrap().lba, 7);
+        assert_eq!(source.next_request(), None);
+    }
+}

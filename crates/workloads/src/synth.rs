@@ -1,10 +1,17 @@
 //! Seeded synthetic workload generation.
 //!
-//! The generator produces traces with a target read ratio, mean request size,
-//! mean inter-arrival time (Poisson arrivals), footprint, and a simple
+//! The generator produces workloads with a target read ratio, mean request
+//! size, mean inter-arrival time (Poisson arrivals), footprint, and a simple
 //! hot/cold locality profile — the statistics that drive SSD-internal write
 //! amplification and the frequency with which reads collide with erases,
 //! which is what the AERO evaluation measures.
+//!
+//! Requests can be produced two ways from the same configuration and seed:
+//! [`SyntheticWorkload::generate`] materializes a bounded [`Trace`], and
+//! [`SyntheticWorkload::stream`] returns an **unbounded lazy iterator**
+//! ([`SyntheticStream`]) that produces the exact same request sequence with
+//! O(1) memory — `generate(n, seed)` is literally `stream(seed).take(n)`
+//! collected, so the two can never diverge.
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -12,6 +19,7 @@ use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::request::{IoOp, IoRequest, Trace};
+use crate::source::WorkloadSource;
 
 /// Configuration of a synthetic workload.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,21 +54,27 @@ impl SyntheticWorkload {
 
     /// Validates the configuration.
     ///
+    /// Every numeric knob must be finite and in range — in particular the
+    /// mean request size must be a finite value of at least 512 bytes, so a
+    /// mis-built configuration can never ask the generator for zero-byte (or
+    /// NaN-sized) requests.
+    ///
     /// # Panics
     ///
-    /// Panics if any field is out of range.
+    /// Panics if any field is out of range or not finite.
     pub fn validate(&self) {
         assert!(
             (0.0..=1.0).contains(&self.read_ratio),
             "read_ratio out of range"
         );
         assert!(
-            self.mean_request_bytes >= 512.0,
-            "mean request size too small"
+            self.mean_request_bytes.is_finite() && self.mean_request_bytes >= 512.0,
+            "mean request size must be finite and at least 512 bytes \
+             (zero-byte requests are rejected)"
         );
         assert!(
-            self.mean_inter_arrival_ns > 0.0,
-            "inter-arrival time must be positive"
+            self.mean_inter_arrival_ns.is_finite() && self.mean_inter_arrival_ns > 0.0,
+            "inter-arrival time must be finite and positive"
         );
         assert!(
             self.footprint_bytes >= 1 << 20,
@@ -70,41 +84,115 @@ impl SyntheticWorkload {
         assert!((0.0..1.0).contains(&self.hot_region_fraction) && self.hot_region_fraction > 0.0);
     }
 
-    /// Generates a trace with `count` requests using a deterministic seed.
-    pub fn generate(&self, count: usize, seed: u64) -> Trace {
+    /// Returns an **unbounded** lazy request stream for this configuration.
+    ///
+    /// The stream produces the exact same request sequence as
+    /// [`generate`](SyntheticWorkload::generate) with the same seed, one
+    /// request at a time, with O(1) memory — bound it with
+    /// [`Iterator::take`] (and feed it to a simulation via
+    /// [`crate::IterSource`]) to replay arbitrarily long workloads without
+    /// ever materializing a `Vec`.
+    ///
+    /// ```
+    /// use aero_workloads::SyntheticWorkload;
+    ///
+    /// let cfg = SyntheticWorkload::default_test();
+    /// let streamed: Vec<_> = cfg.stream(7).take(100).collect();
+    /// let batch = cfg.generate(100, 7);
+    /// assert_eq!(streamed, batch.requests());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`validate`](SyntheticWorkload::validate)).
+    pub fn stream(&self, seed: u64) -> SyntheticStream {
         self.validate();
-        let mut rng = ChaCha12Rng::seed_from_u64(seed);
-        let mut requests = Vec::with_capacity(count);
-        let mut clock_ns = 0u64;
         let footprint_pages = (self.footprint_bytes / 4096).max(1);
         let hot_pages = ((footprint_pages as f64) * self.hot_region_fraction).max(1.0) as u64;
-        for _ in 0..count {
-            // Poisson arrivals: exponential inter-arrival times.
-            let u: f64 = rng.gen::<f64>().max(1e-12);
-            clock_ns += (-u.ln() * self.mean_inter_arrival_ns).round() as u64;
-            let op = if rng.gen::<f64>() < self.read_ratio {
-                IoOp::Read
-            } else {
-                IoOp::Write
-            };
-            // Request size: exponential around the mean, 4 KiB aligned,
-            // clamped to [4 KiB, 1 MiB].
-            let raw = -rng.gen::<f64>().max(1e-12).ln() * self.mean_request_bytes;
-            let size = ((raw / 4096.0).round().clamp(1.0, 256.0) as u32) * 4096;
-            // Locality: hot region with probability hot_access_fraction.
-            let page = if rng.gen::<f64>() < self.hot_access_fraction {
-                rng.gen_range(0..hot_pages)
-            } else {
-                rng.gen_range(hot_pages..footprint_pages.max(hot_pages + 1))
-            };
-            requests.push(IoRequest {
-                arrival_ns: clock_ns,
-                op,
-                lba: page * 8, // 4 KiB pages = 8 sectors
-                size_bytes: size,
-            });
+        SyntheticStream {
+            config: *self,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            clock_ns: 0,
+            footprint_pages,
+            hot_pages,
         }
-        Trace::new(requests)
+    }
+
+    /// Generates a trace with `count` requests using a deterministic seed.
+    ///
+    /// Equivalent to collecting `count` requests from
+    /// [`stream`](SyntheticWorkload::stream) with the same seed.
+    pub fn generate(&self, count: usize, seed: u64) -> Trace {
+        self.stream(seed).take(count).collect()
+    }
+}
+
+/// An unbounded lazy request stream over a [`SyntheticWorkload`].
+///
+/// Created by [`SyntheticWorkload::stream`]. Arrival times are
+/// non-decreasing by construction (the clock only ever advances), so the
+/// stream satisfies the [`WorkloadSource`] contract directly — both
+/// [`Iterator`] and [`WorkloadSource`] are implemented, the former for
+/// composition (`take`, `filter`, …), the latter for driving a simulation.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    config: SyntheticWorkload,
+    rng: ChaCha12Rng,
+    clock_ns: u64,
+    footprint_pages: u64,
+    hot_pages: u64,
+}
+
+impl SyntheticStream {
+    /// The configuration this stream was built from.
+    pub fn config(&self) -> &SyntheticWorkload {
+        &self.config
+    }
+
+    /// The simulated arrival clock: the arrival time of the most recently
+    /// yielded request (0 before the first).
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+}
+
+impl Iterator for SyntheticStream {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        let cfg = &self.config;
+        // Poisson arrivals: exponential inter-arrival times.
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        self.clock_ns += (-u.ln() * cfg.mean_inter_arrival_ns).round() as u64;
+        let op = if self.rng.gen::<f64>() < cfg.read_ratio {
+            IoOp::Read
+        } else {
+            IoOp::Write
+        };
+        // Request size: exponential around the mean, 4 KiB aligned,
+        // clamped to [4 KiB, 1 MiB].
+        let raw = -self.rng.gen::<f64>().max(1e-12).ln() * cfg.mean_request_bytes;
+        let size = ((raw / 4096.0).round().clamp(1.0, 256.0) as u32) * 4096;
+        // Locality: hot region with probability hot_access_fraction.
+        let page = if self.rng.gen::<f64>() < cfg.hot_access_fraction {
+            self.rng.gen_range(0..self.hot_pages)
+        } else {
+            self.rng
+                .gen_range(self.hot_pages..self.footprint_pages.max(self.hot_pages + 1))
+        };
+        Some(IoRequest {
+            arrival_ns: self.clock_ns,
+            op,
+            lba: page * 8, // 4 KiB pages = 8 sectors
+            size_bytes: size,
+        })
+    }
+}
+
+impl WorkloadSource for SyntheticStream {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        self.next()
     }
 }
 
@@ -180,5 +268,46 @@ mod tests {
             ..SyntheticWorkload::default_test()
         };
         let _ = cfg.generate(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte requests are rejected")]
+    fn nan_mean_request_size_rejected() {
+        let cfg = SyntheticWorkload {
+            mean_request_bytes: f64::NAN,
+            ..SyntheticWorkload::default_test()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn infinite_inter_arrival_rejected() {
+        let cfg = SyntheticWorkload {
+            mean_inter_arrival_ns: f64::INFINITY,
+            ..SyntheticWorkload::default_test()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn stream_matches_generate_request_for_request() {
+        let cfg = SyntheticWorkload::default_test();
+        let batch = cfg.generate(2_000, 13);
+        let streamed: Vec<_> = cfg.stream(13).take(2_000).collect();
+        assert_eq!(streamed.as_slice(), batch.requests());
+    }
+
+    #[test]
+    fn stream_is_lazy_and_unbounded() {
+        let mut stream = SyntheticWorkload::default_test().stream(1);
+        let mut last = 0;
+        for _ in 0..10_000 {
+            let r = stream.next().expect("stream never ends");
+            assert!(r.arrival_ns >= last, "arrivals must be non-decreasing");
+            assert!(r.size_bytes >= 4096);
+            last = r.arrival_ns;
+        }
+        assert_eq!(stream.clock_ns(), last);
     }
 }

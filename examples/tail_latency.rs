@@ -11,6 +11,7 @@
 use aero_core::SchemeKind;
 use aero_ssd::{Ssd, SsdConfig};
 use aero_workloads::catalog::WorkloadId;
+use aero_workloads::IterSource;
 
 fn run(scheme: SchemeKind) -> (String, aero_ssd::RunReport) {
     let config = SsdConfig::small_test(scheme).with_seed(7);
@@ -21,8 +22,10 @@ fn run(scheme: SchemeKind) -> (String, aero_ssd::RunReport) {
     let mut synth = WorkloadId::AliA.spec().synthetic();
     synth.footprint_bytes = (logical as f64 * 0.6) as u64;
     synth.mean_inter_arrival_ns = 150_000.0;
-    let trace = synth.generate(8_000, 11);
-    (scheme.label().to_string(), ssd.run_trace(&trace))
+    // Stream the workload through a session: requests are generated lazily
+    // as simulated time advances, so nothing is ever materialized.
+    let source = IterSource::new(synth.stream(11).take(8_000));
+    (scheme.label().to_string(), ssd.session(source).run_to_end())
 }
 
 fn main() {

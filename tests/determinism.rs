@@ -13,7 +13,9 @@
 use aero::bench::system::{channel_sweep, run_ssd, table4, RunParams};
 use aero::bench::Scale;
 use aero::core::SchemeKind;
+use aero::ssd::{Ssd, SsdConfig};
 use aero::workloads::catalog::WorkloadId;
+use aero::workloads::{IterSource, SyntheticWorkload};
 
 /// Runs a small but real `run_ssd` sweep (2 schemes × 2 workloads × 2 wear
 /// levels) and returns the per-run measurements that summarize a report.
@@ -40,12 +42,41 @@ fn sweep() -> Vec<(u64, u64, u64, u64, u64)> {
     })
 }
 
+/// Runs a sweep of **streamed** sessions — each job drives `Ssd::session`
+/// directly from a lazy `SyntheticWorkload::stream` with a mid-run
+/// `snapshot()` — and returns per-run measurements from both the interim
+/// snapshot and the final report.
+fn streamed_sweep() -> Vec<(u64, u64, u64, u64, u64)> {
+    let jobs: Vec<u64> = (0..6).collect();
+    aero::exec::par_map(jobs, |seed| {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Aero).with_seed(seed));
+        ssd.fill_fraction(0.6);
+        let workload = SyntheticWorkload::default_test();
+        let mut sim = ssd.session(IterSource::new(workload.stream(seed).take(1_500)));
+        sim.run_until(40_000_000);
+        let mid = sim.snapshot();
+        let report = sim.run_to_end();
+        (
+            mid.reads_completed + mid.writes_completed,
+            report.reads_completed,
+            report.writes_completed,
+            report.makespan_ns,
+            report.read_latency.percentile(99.9),
+        )
+    })
+}
+
 #[test]
 fn sweeps_are_byte_identical_across_thread_counts() {
     // Reference: everything on one thread, as with AERO_THREADS=1.
-    let (sweep_one, table_one, channels_one) = {
+    let (sweep_one, streamed_one, table_one, channels_one) = {
         let _guard = aero::exec::override_threads(1);
-        (sweep(), table4(Scale::Quick), channel_sweep(Scale::Quick))
+        (
+            sweep(),
+            streamed_sweep(),
+            table4(Scale::Quick),
+            channel_sweep(Scale::Quick),
+        )
     };
 
     // A real run_ssd sweep must match the reference at several counts.
@@ -59,14 +90,23 @@ fn sweeps_are_byte_identical_across_thread_counts() {
     }
 
     // The full quick-scale Table 4 harness — now running on the
-    // channel-aware simulator — must render byte-identically on 8 threads
-    // (the paper-reproduction acceptance check), and so must the
-    // channel-count sensitivity sweep, whose runs exercise shared-bus
-    // arbitration directly.
-    let (table_eight, channels_eight) = {
+    // channel-aware simulator through streamed sessions — must render
+    // byte-identically on 8 threads (the paper-reproduction acceptance
+    // check); so must the channel-count sensitivity sweep, whose runs
+    // exercise shared-bus arbitration directly, and the raw streaming
+    // session path (lazy sources + mid-run snapshots).
+    let (streamed_eight, table_eight, channels_eight) = {
         let _guard = aero::exec::override_threads(8);
-        (table4(Scale::Quick), channel_sweep(Scale::Quick))
+        (
+            streamed_sweep(),
+            table4(Scale::Quick),
+            channel_sweep(Scale::Quick),
+        )
     };
+    assert_eq!(
+        streamed_one, streamed_eight,
+        "streamed-session sweep diverged between 1 and 8 threads"
+    );
     assert_eq!(
         table_one, table_eight,
         "table4 quick-scale output diverged between 1 and 8 threads"

@@ -1,0 +1,112 @@
+//! API-equivalence suite for the streaming session API.
+//!
+//! The contract pinned here: driving the simulator through
+//! `Ssd::session` — from a trace source, a lazy synthetic stream, or the
+//! line-by-line MSRC parser — produces **byte-identical** `RunReport`s
+//! (full `PartialEq`, latency samples included) to the legacy
+//! `run_trace` batch call, across the Table 4 workload catalog.
+
+use aero::core::SchemeKind;
+use aero::ssd::{RunReport, Ssd, SsdConfig};
+use aero::workloads::catalog::WorkloadId;
+use aero::workloads::trace::{to_msrc, MsrcSource};
+use aero::workloads::{IterSource, SyntheticWorkload, TraceSource};
+
+/// A preconditioned quick-scale drive matching `run_ssd`'s setup.
+fn drive(scheme: SchemeKind, pec: u32) -> Ssd {
+    let config = SsdConfig::small_test(scheme).with_seed(0xA11CE);
+    let mut ssd = Ssd::new(config);
+    ssd.precondition_wear(pec);
+    ssd.fill_fraction(0.7);
+    ssd
+}
+
+/// The workload a Table 4 cell replays, scaled to the quick drive.
+fn workload(id: WorkloadId) -> SyntheticWorkload {
+    let logical = SsdConfig::small_test(SchemeKind::Baseline).logical_capacity_bytes();
+    let mut synth = id.spec().synthetic();
+    synth.footprint_bytes = ((logical as f64 * 0.6) as u64).max(1 << 20);
+    synth.mean_inter_arrival_ns = synth.mean_inter_arrival_ns.min(200_000.0);
+    synth
+}
+
+/// Every Table 4 workload: the materialized `run_trace` path and the
+/// streamed session path produce byte-identical reports (the `RunReport`
+/// `PartialEq` covers counts, makespan, every latency sample, erase
+/// statistics, GC counters, and channel accounting).
+#[test]
+fn session_replays_table4_workloads_byte_identically() {
+    for id in WorkloadId::all() {
+        let synth = workload(id);
+        let requests = 1_000;
+        let seed = 7;
+
+        let trace = synth.generate(requests, seed);
+        let batch: RunReport = drive(SchemeKind::Aero, 2_500).run_trace(&trace);
+
+        let streamed = drive(SchemeKind::Aero, 2_500)
+            .session(IterSource::new(synth.stream(seed).take(requests)))
+            .run_to_end();
+        assert_eq!(
+            batch,
+            streamed,
+            "streamed session diverged from run_trace on {}",
+            id.label()
+        );
+
+        let via_trace_source = drive(SchemeKind::Aero, 2_500)
+            .session(TraceSource::new(&trace))
+            .run_to_end();
+        assert_eq!(
+            batch,
+            via_trace_source,
+            "TraceSource session diverged from run_trace on {}",
+            id.label()
+        );
+    }
+}
+
+/// The MSRC streaming parser drives a session to the same report as
+/// eagerly parsing the same text and replaying the trace.
+#[test]
+fn msrc_streaming_session_matches_eager_replay() {
+    let synth = workload(WorkloadId::Prxy);
+    let csv = to_msrc(&synth.generate(800, 3), "equiv");
+
+    let eager_trace = aero::workloads::trace::parse_msrc(&csv).unwrap();
+    let eager = drive(SchemeKind::Baseline, 500).run_trace(&eager_trace);
+
+    let streamed = drive(SchemeKind::Baseline, 500)
+        .session(MsrcSource::from_str(&csv))
+        .run_to_end();
+    assert_eq!(eager, streamed);
+
+    // And straight from a reader, as a real trace file would be.
+    let from_reader = drive(SchemeKind::Baseline, 500)
+        .session(MsrcSource::from_reader(csv.as_bytes()))
+        .run_to_end();
+    assert_eq!(eager, from_reader);
+}
+
+/// Splitting a run into warm-up + stepped measurement windows does not
+/// change the final report: `step`/`run_until`/`snapshot` are pure
+/// observation points.
+#[test]
+fn windowed_stepping_matches_one_shot_run() {
+    let synth = workload(WorkloadId::AliA);
+    let one_shot = drive(SchemeKind::Aero, 2_500)
+        .session(IterSource::new(synth.stream(11).take(1_500)))
+        .run_to_end();
+
+    let mut ssd = drive(SchemeKind::Aero, 2_500);
+    let mut sim = ssd.session(IterSource::new(synth.stream(11).take(1_500)));
+    let mut snapshots = 0;
+    while !sim.is_finished() {
+        let target = sim.now().saturating_add(50_000_000); // 50 ms windows
+        sim.run_until(target);
+        let _ = sim.snapshot();
+        snapshots += 1;
+    }
+    assert!(snapshots > 2, "the run spans several windows");
+    assert_eq!(sim.run_to_end(), one_shot);
+}
