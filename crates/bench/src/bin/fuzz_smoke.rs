@@ -1,0 +1,58 @@
+//! Bounded fuzz smoke for CI: a fixed seed list of deterministic scenarios
+//! run in parallel with the invariant auditor + shadow-FTL oracle attached.
+//! Any invariant violation or oracle divergence fails the process (exit 1)
+//! after shrinking the offending seed to a minimal request prefix and
+//! printing a copy-pasteable reproduction recipe.
+//!
+//! Run with: `cargo run --release -p aero-bench --bin fuzz_smoke`
+//! Seed count via `AERO_FUZZ_SMOKE_SEEDS` (default 256).
+
+use std::time::Instant;
+
+use aero_exec::par_try_map;
+use aero_ssd::scenario::{run_scenario, shrink_to_minimal_prefix, ScenarioOptions};
+use aero_workloads::fuzz::scenario;
+
+fn main() {
+    let seed_count: u64 = std::env::var("AERO_FUZZ_SMOKE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let seeds: Vec<u64> = (1..=seed_count).collect();
+    println!(
+        "fuzz smoke: {} seeded scenarios on {} thread(s)",
+        seeds.len(),
+        aero_exec::thread_count()
+    );
+    let started = Instant::now();
+    let results = par_try_map(seeds, |seed| {
+        let sc = scenario(seed);
+        run_scenario(&sc).map(|o| (seed, o)).map_err(|f| (seed, f))
+    });
+    match results {
+        Ok(outcomes) => {
+            let requests: u64 = outcomes.iter().map(|(_, o)| o.requests_completed).sum();
+            let checkpoints: u64 = outcomes.iter().map(|(_, o)| o.checkpoints).sum();
+            let gc: u64 = outcomes.iter().map(|(_, o)| o.gc_invocations).sum();
+            let erases: u64 = outcomes.iter().map(|(_, o)| o.erases).sum();
+            println!(
+                "clean: {requests} requests, {checkpoints} audit checkpoints, {gc} GC \
+                 invocations, {erases} erases in {:.2}s",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err((seed, failure)) => {
+            eprintln!("{failure}");
+            let sc = scenario(seed);
+            if let Some(shrunk) = shrink_to_minimal_prefix(&sc, ScenarioOptions::default()) {
+                eprintln!(
+                    "minimal failing prefix: {} of {} requests\n{}",
+                    shrunk.minimal_requests,
+                    sc.total_requests(),
+                    shrunk.failure
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

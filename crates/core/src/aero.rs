@@ -199,6 +199,10 @@ impl EraseScheme for Aero {
         }
     }
 
+    fn shallow_flags(&self) -> Option<&ShallowEraseFlags> {
+        Some(&self.sef)
+    }
+
     fn begin(&mut self, ctx: &BlockContext) {
         if ctx.block_id.0 >= self.sef.len() {
             self.sef.grow_to((ctx.block_id.0 + 1).next_power_of_two());

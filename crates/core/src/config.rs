@@ -117,6 +117,9 @@ impl EraseScheme for Box<dyn EraseScheme> {
     fn erase_voltage_scale(&self, pec: u32) -> f64 {
         (**self).erase_voltage_scale(pec)
     }
+    fn shallow_flags(&self) -> Option<&crate::sef::ShallowEraseFlags> {
+        (**self).shallow_flags()
+    }
 }
 
 #[cfg(test)]

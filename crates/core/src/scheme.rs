@@ -108,6 +108,14 @@ pub trait EraseScheme {
     fn erase_voltage_scale(&self, _pec: u32) -> f64 {
         1.0
     }
+
+    /// The scheme's per-block shallow-erasure flags, if it keeps any
+    /// (only the AERO variants do). Exposed so a state auditor can verify
+    /// the bitmap's structural invariants without knowing the concrete
+    /// scheme type behind a `Box<dyn EraseScheme>`.
+    fn shallow_flags(&self) -> Option<&crate::sef::ShallowEraseFlags> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -144,6 +144,30 @@ where
         .collect()
 }
 
+/// Maps a fallible `job` over `items` on the worker pool, returning the
+/// results in input order — or, if any job failed, the error of the
+/// **lowest-indexed** failing item.
+///
+/// Every job runs to completion regardless of other jobs' failures (there
+/// is no early cancellation), which is what makes the returned error
+/// deterministic: it never depends on scheduling order or thread count.
+/// Used by fuzz-seed sweeps, where each seed is an independent
+/// `Result`-returning scenario and the reported failure must be the same
+/// on 1 thread and N.
+///
+/// # Panics
+///
+/// Panics if any job panics, exactly like [`par_map`].
+pub fn par_try_map<I, O, E, F>(items: Vec<I>, job: F) -> Result<Vec<O>, E>
+where
+    I: Send,
+    O: Send,
+    E: Send,
+    F: Fn(I) -> Result<O, E> + Sync,
+{
+    par_map(items, job).into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +229,23 @@ mod tests {
         let empty: Vec<u32> = par_map(Vec::new(), |i: u32| i);
         assert!(empty.is_empty());
         assert_eq!(par_map(vec![41], |i| i + 1), vec![42]);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        // Jobs 7 and 23 both fail; the reported error must be 7's,
+        // regardless of completion order.
+        let result: Result<Vec<u32>, String> = par_try_map((0..64).collect(), |i: u32| {
+            if i == 7 || i == 23 {
+                Err(format!("job {i} failed"))
+            } else {
+                Ok(i * 2)
+            }
+        });
+        assert_eq!(result.unwrap_err(), "job 7 failed");
+
+        let ok: Result<Vec<u32>, String> = par_try_map((0..16).collect(), |i: u32| Ok(i + 1));
+        assert_eq!(ok.unwrap(), (1..=16).collect::<Vec<_>>());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! up a new free block is opened. Greedy GC picks the block with the fewest
 //! valid pages.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 /// A physical page address in drive-global coordinates.
@@ -137,6 +139,31 @@ impl DieFtl {
         self.free_blocks.len() as u32
     }
 
+    /// The free list itself: block indices available for allocation, in
+    /// pop order (last entry is allocated next). Exposed for the state
+    /// auditor, which cross-checks list membership against block states.
+    pub fn free_block_ids(&self) -> &[u32] {
+        &self.free_blocks
+    }
+
+    /// The currently open frontier block, if any.
+    pub fn frontier(&self) -> Option<u32> {
+        self.frontier
+    }
+
+    /// Number of pages per block on this die.
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+
+    /// Test-support corruption hook: pushes a block onto the free list
+    /// without touching its state, violating the free-list/state-machine
+    /// invariant on purpose so tests can prove the auditor catches it.
+    #[doc(hidden)]
+    pub fn debug_corrupt_free_list(&mut self, block: u32) {
+        self.free_blocks.push(block);
+    }
+
     /// Shared access to a block's bookkeeping.
     pub fn block(&self, block: u32) -> &BlockInfo {
         &self.blocks[block as usize]
@@ -171,12 +198,15 @@ impl DieFtl {
 
     /// Greedy GC victim: the full block with the fewest valid pages.
     /// The frontier and blocks already being collected or erased are not
-    /// eligible. Returns `None` if no block is eligible.
+    /// eligible, and neither is a **fully valid** block — collecting one
+    /// reclaims zero pages while costing a whole block of migrations (and
+    /// its final migration can outrun the free space the erase has not yet
+    /// produced). Returns `None` if no block is eligible.
     pub fn pick_gc_victim(&self) -> Option<u32> {
         self.blocks
             .iter()
             .enumerate()
-            .filter(|(_, b)| b.state == BlockState::Full)
+            .filter(|(_, b)| b.state == BlockState::Full && b.valid_pages < self.pages_per_block)
             .min_by_key(|(_, b)| b.valid_pages)
             .map(|(i, _)| i as u32)
     }
@@ -204,9 +234,21 @@ impl DieFtl {
 }
 
 /// Drive-wide logical-to-physical page mapping.
+///
+/// Logical pages inside the drive's advertised space live in a flat table
+/// (O(1) hot path). Logical pages **beyond** it — host bugs, synthetic
+/// traces whose footprint exceeds the drive — are tracked in a sorted
+/// overlay map, so an out-of-range overwrite finds and invalidates its
+/// previous copy exactly like an in-range one. (An earlier design dropped
+/// out-of-range updates on the floor, which made every orphan physical
+/// copy immortal: they accumulated across overwrites, garbage collection
+/// could never reclaim their blocks, and a full drive silently lost GC
+/// migrations — a bug the state auditor surfaced.)
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageMapping {
     table: Vec<Option<Ppa>>,
+    /// Mappings for logical pages at or beyond `table.len()`.
+    orphans: BTreeMap<u64, Ppa>,
 }
 
 impl PageMapping {
@@ -214,10 +256,12 @@ impl PageMapping {
     pub fn new(logical_pages: u64) -> Self {
         PageMapping {
             table: vec![None; logical_pages as usize],
+            orphans: BTreeMap::new(),
         }
     }
 
-    /// Number of logical pages.
+    /// Number of logical pages in the drive's advertised space (the flat
+    /// table; out-of-range orphans are not counted).
     pub fn len(&self) -> usize {
         self.table.len()
     }
@@ -227,23 +271,38 @@ impl PageMapping {
         self.table.is_empty()
     }
 
-    /// Current physical location of a logical page, if mapped. Logical pages
-    /// beyond the table (host bugs, synthetic traces larger than the drive)
-    /// report `None`.
+    /// Current physical location of a logical page, if mapped — in-range
+    /// pages from the flat table, out-of-range pages from the orphan
+    /// overlay.
     pub fn lookup(&self, lpn: u64) -> Option<Ppa> {
-        self.table.get(lpn as usize).copied().flatten()
+        match self.table.get(lpn as usize) {
+            Some(entry) => *entry,
+            None => self.orphans.get(&lpn).copied(),
+        }
     }
 
     /// Installs a new mapping, returning the previous location (which the
-    /// caller must invalidate).
+    /// caller must invalidate). Works for out-of-range logical pages too,
+    /// via the orphan overlay.
     pub fn update(&mut self, lpn: u64, ppa: Ppa) -> Option<Ppa> {
-        if lpn as usize >= self.table.len() {
-            return None;
+        match self.table.get_mut(lpn as usize) {
+            Some(entry) => entry.replace(ppa),
+            None => self.orphans.insert(lpn, ppa),
         }
-        self.table[lpn as usize].replace(ppa)
     }
 
-    /// Fraction of logical pages currently mapped.
+    /// Iterator over the out-of-range mappings, in ascending lpn order.
+    pub fn orphan_entries(&self) -> impl Iterator<Item = (u64, Ppa)> + '_ {
+        self.orphans.iter().map(|(&lpn, &ppa)| (lpn, ppa))
+    }
+
+    /// Number of out-of-range logical pages currently mapped.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.len()
+    }
+
+    /// Fraction of the advertised logical space currently mapped (orphans
+    /// are outside that space and not counted).
     pub fn mapped_fraction(&self) -> f64 {
         if self.table.is_empty() {
             return 0.0;
@@ -343,8 +402,32 @@ mod tests {
         assert_eq!(map.update(3, ppa2), Some(ppa1));
         assert_eq!(map.lookup(3), Some(ppa2));
         assert!((map.mapped_fraction() - 0.1).abs() < 1e-12);
-        // Out-of-range lookups and updates are ignored gracefully.
+        // Out-of-range logical pages are tracked in the orphan overlay:
+        // overwrites return the previous copy for invalidation, exactly
+        // like in-range pages.
         assert_eq!(map.lookup(100), None);
         assert_eq!(map.update(100, ppa1), None);
+        assert_eq!(map.lookup(100), Some(ppa1));
+        assert_eq!(map.update(100, ppa2), Some(ppa1));
+        assert_eq!(map.orphan_count(), 1);
+        assert_eq!(map.orphan_entries().collect::<Vec<_>>(), vec![(100, ppa2)]);
+        // Orphans do not count toward the advertised space's utilization.
+        assert!((map.mapped_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    /// A fully valid block is never a GC victim: collecting it reclaims
+    /// nothing.
+    #[test]
+    fn fully_valid_blocks_are_not_gc_victims() {
+        let mut die = DieFtl::new(2, 4);
+        let (first_block, _, _) = die.allocate_page().unwrap();
+        for _ in 0..7 {
+            die.allocate_page().unwrap();
+        }
+        // Both blocks Full, every page valid: no eligible victim.
+        assert_eq!(die.pick_gc_victim(), None);
+        // One invalidated page makes that block eligible.
+        die.block_mut(first_block).mark_invalid(0);
+        assert_eq!(die.pick_gc_victim(), Some(first_block));
     }
 }

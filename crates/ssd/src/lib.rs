@@ -60,17 +60,31 @@
 //! let report = ssd.session(source).run_to_end();
 //! assert_eq!(report.reads_completed + report.writes_completed, 200);
 //! ```
+//!
+//! # Auditing the simulator
+//!
+//! The [`audit`] module provides model-based differential testing of the
+//! drive state itself: [`Ssd::audit`] verifies the FTL's global invariants
+//! at any instant, a [`ShadowFtl`] reference model tracks every page write
+//! and erase independently and is compared against the real FTL at
+//! checkpoints, and an [`Auditor`] attaches both to a running session
+//! ([`Simulation::attach_auditor`]). The [`scenario`] module executes
+//! deterministic fuzz scenarios (from [`aero_workloads::fuzz`]) under the
+//! auditor and shrinks failures to minimal request prefixes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod ftl;
 pub mod latency;
 pub mod report;
+pub mod scenario;
 pub mod session;
 pub mod ssd;
 
+pub use audit::{AuditReport, Auditor, Invariant, ShadowFtl, Violation};
 pub use config::SsdConfig;
 pub use latency::LatencyRecorder;
 pub use report::{ChannelStats, RunReport};

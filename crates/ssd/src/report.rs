@@ -102,14 +102,20 @@ impl RunReport {
     }
 
     /// Per-channel bus utilization: fraction of the makespan each channel's
-    /// bus was occupied by transfers. Empty if the makespan is zero.
+    /// bus was occupied by transfers. A zero-duration report (e.g. a
+    /// [`crate::Simulation::snapshot`] taken before any request completed)
+    /// yields 0.0 for every channel — never NaN, and never a vector shorter
+    /// than the channel count.
     pub fn channel_utilization(&self) -> Vec<f64> {
-        if self.makespan_ns == 0 {
-            return Vec::new();
-        }
         self.channel_stats
             .iter()
-            .map(|c| c.busy_ns as f64 / self.makespan_ns as f64)
+            .map(|c| {
+                if self.makespan_ns == 0 {
+                    0.0
+                } else {
+                    c.busy_ns as f64 / self.makespan_ns as f64
+                }
+            })
             .collect()
     }
 
@@ -151,6 +157,41 @@ mod tests {
         assert_eq!(r.transfer_wait_ns(), 0);
         assert!(r.channel_utilization().is_empty());
         assert_eq!(r.mean_channel_utilization(), 0.0);
+    }
+
+    /// Satellite regression: a zero-duration report that *does* have
+    /// channels (a snapshot taken at the very start of a session, before
+    /// any completion advanced the makespan) must report a 0.0 utilization
+    /// per channel — not NaN, and not an empty vector that would break
+    /// per-channel indexing.
+    #[test]
+    fn zero_duration_report_with_channels_yields_finite_zeros() {
+        let r = RunReport {
+            makespan_ns: 0,
+            channel_stats: vec![
+                ChannelStats {
+                    transfers: 3,
+                    busy_ns: 30_000,
+                    ..ChannelStats::default()
+                },
+                ChannelStats::default(),
+            ],
+            ..RunReport::default()
+        };
+        let util = r.channel_utilization();
+        assert_eq!(util, vec![0.0, 0.0]);
+        assert_eq!(r.mean_channel_utilization(), 0.0);
+        assert_eq!(r.iops(), 0.0);
+        assert_eq!(r.mean_read_latency_us(), 0.0);
+        assert_eq!(r.mean_write_latency_us(), 0.0);
+        for helper in [
+            r.iops(),
+            r.mean_channel_utilization(),
+            r.mean_read_latency_us(),
+            r.write_amplification(0),
+        ] {
+            assert!(helper.is_finite());
+        }
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Executes deterministic fuzz scenarios under the state auditor.
+//!
+//! [`run_scenario`] takes a seeded [`FuzzScenario`] (see
+//! [`aero_workloads::fuzz`]), builds the described drive, preconditions it,
+//! captures a [`crate::ShadowFtl`] oracle, and drives every session plan
+//! with an attached [`crate::Auditor`] — checkpointing the full invariant
+//! set on the scenario's cadence, replaying mid-run snapshot windows when
+//! the plan asks for them, and sanity-checking every derived report metric
+//! for NaN/infinity. The run stops at the **first** violation, and
+//! [`shrink_to_minimal_prefix`] then binary-searches the smallest request
+//! prefix of the same scenario that still fails, so a CI failure arrives
+//! pre-minimized:
+//!
+//! ```text
+//! AERO_FUZZ_SEED=1234 cargo test -q --test audit
+//! ```
+//!
+//! Everything here is deterministic: a scenario is a pure function of its
+//! seed, the simulator is seeded from the scenario, and prefixes are exact
+//! request counts — the same seed fails (or passes) identically on every
+//! machine and every thread count.
+
+use std::fmt;
+
+use aero_workloads::fuzz::FuzzScenario;
+use aero_workloads::IterSource;
+
+use crate::audit::{Auditor, CorruptionKind, Invariant, Violation, MAX_VIOLATIONS};
+use crate::config::SsdConfig;
+use crate::report::RunReport;
+use crate::ssd::Ssd;
+
+/// Summary of a clean scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// User requests completed across all sessions.
+    pub requests_completed: u64,
+    /// Full audit checkpoints performed (cadence + end-of-session +
+    /// end-of-scenario).
+    pub checkpoints: u64,
+    /// Sessions actually opened (a request-limited prefix may skip late
+    /// sessions).
+    pub sessions_run: usize,
+    /// Garbage-collection invocations across the whole scenario.
+    pub gc_invocations: u64,
+    /// Erase operations across the whole scenario.
+    pub erases: u64,
+}
+
+/// A scenario run that violated an invariant or diverged from the oracle.
+#[derive(Debug, Clone)]
+pub struct ScenarioFailure {
+    /// The scenario's seed.
+    pub seed: u64,
+    /// Requests issued to the drive under the active prefix limit when the
+    /// failure surfaced.
+    pub requests_issued: u64,
+    /// The recorded violations, in discovery order (capped).
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scenario seed {} failed after {} issued requests with {} violation(s):",
+            self.seed,
+            self.requests_issued,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        write!(
+            f,
+            "reproduce with: AERO_FUZZ_SEED={} cargo test -q --test audit",
+            self.seed
+        )
+    }
+}
+
+impl std::error::Error for ScenarioFailure {}
+
+/// Options for [`run_scenario_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioOptions {
+    /// Issue at most this many requests (a *prefix* of the scenario's
+    /// request sequence, across session boundaries). `None` = the whole
+    /// scenario. This is the knob the shrinker binary-searches.
+    pub request_limit: Option<u64>,
+    /// Test support: inject the given corruption once this many requests
+    /// have completed, to prove end to end that the auditor catches
+    /// corruption mid-run and the shrinker localizes it.
+    #[doc(hidden)]
+    pub corrupt_after: Option<(u64, CorruptionKind)>,
+}
+
+/// Runs the full scenario. See [`run_scenario_with`].
+pub fn run_scenario(scenario: &FuzzScenario) -> Result<ScenarioOutcome, Box<ScenarioFailure>> {
+    run_scenario_with(scenario, ScenarioOptions::default())
+}
+
+/// Builds the scenario's drive, preconditions it, and replays every session
+/// plan with an attached auditor + shadow oracle. Returns at the first
+/// recorded violation (drive invariants, session invariants, oracle
+/// divergence, or a non-finite report metric), identifying the failing
+/// prefix.
+pub fn run_scenario_with(
+    scenario: &FuzzScenario,
+    options: ScenarioOptions,
+) -> Result<ScenarioOutcome, Box<ScenarioFailure>> {
+    let config = SsdConfig::small_test(scenario.scheme)
+        .with_channel_layout(scenario.channels, scenario.chips_per_channel)
+        .with_erase_suspension(scenario.erase_suspension)
+        .with_seed(scenario.seed);
+    let mut ssd = Ssd::new(config);
+    if scenario.precondition_pec > 0 {
+        ssd.precondition_wear(scenario.precondition_pec);
+    }
+    if scenario.fill_fraction > 0.0 {
+        ssd.fill_fraction(scenario.fill_fraction);
+    }
+
+    let mut auditor = Auditor::new()
+        .check_every(scenario.audit_every_events)
+        .with_oracle(&ssd);
+    let mut budget = options.request_limit.unwrap_or(u64::MAX);
+    let mut corruption = options.corrupt_after;
+    let mut issued = 0u64;
+    let mut completed_before = 0u64;
+    let mut sessions_run = 0usize;
+
+    for plan in &scenario.sessions {
+        if budget == 0 {
+            break;
+        }
+        let take = plan.total_requests().min(budget);
+        budget -= take;
+        issued += take;
+        sessions_run += 1;
+
+        let mut sanity = Vec::new();
+        let session_completed;
+        {
+            let source = IterSource::new(plan.stream().take(take as usize));
+            let mut sim = ssd.session(source);
+            sim.attach_auditor(&mut auditor);
+            loop {
+                if let Some((after, kind)) = corruption {
+                    if completed_before + sim.completed_requests() >= after {
+                        sim.debug_corrupt(kind);
+                        corruption = None;
+                    }
+                }
+                if sim.audit_failed() {
+                    break;
+                }
+                match plan.snapshot_every_ns {
+                    Some(window) => {
+                        if sim.is_finished() {
+                            break;
+                        }
+                        let target = sim.now().saturating_add(window);
+                        sim.run_until(target);
+                        check_report_sanity(&sim.snapshot(), "mid-run snapshot", &mut sanity);
+                        if !sanity.is_empty() {
+                            break;
+                        }
+                    }
+                    None => {
+                        if !sim.step() {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Every session's final report gets the NaN sanity pass, not
+            // just the snapshot-windowed ones.
+            check_report_sanity(&sim.snapshot(), "end-of-session report", &mut sanity);
+            // End-of-session audit: drive + session + oracle in one pass —
+            // but only when the attached auditor found nothing yet, since a
+            // cadence checkpoint that already recorded violations would be
+            // re-collected verbatim here and double-count every finding.
+            if !sim.audit_failed() {
+                let end_audit = sim.audit();
+                sanity.extend(end_audit.violations);
+            }
+            session_completed = sim.completed_requests();
+        }
+        completed_before += session_completed;
+        absorb(&mut auditor, sanity);
+        if !auditor.is_clean() {
+            return Err(failure(scenario, issued, &auditor));
+        }
+        if session_completed != take {
+            let violation = Violation::new(
+                Invariant::InFlight,
+                format!("session {sessions_run}: {session_completed} of {take} requests completed"),
+            );
+            absorb(&mut auditor, vec![violation]);
+            return Err(failure(scenario, issued, &auditor));
+        }
+    }
+
+    // Final whole-scenario checkpoint on the quiesced drive.
+    auditor.checkpoint(&ssd);
+    if !auditor.is_clean() {
+        return Err(failure(scenario, issued, &auditor));
+    }
+    Ok(ScenarioOutcome {
+        requests_completed: completed_before,
+        checkpoints: auditor.checkpoints(),
+        sessions_run,
+        gc_invocations: ssd.gc_invocations,
+        erases: ssd.erase_stats().operations,
+    })
+}
+
+/// A failure minimized by [`shrink_to_minimal_prefix`].
+#[derive(Debug, Clone)]
+pub struct ShrunkFailure {
+    /// The smallest request-prefix length that still fails.
+    pub minimal_requests: u64,
+    /// The failure observed at that minimal prefix.
+    pub failure: Box<ScenarioFailure>,
+}
+
+/// Shrinks a failing scenario to a minimal request prefix by binary search
+/// (every probe is a full deterministic re-run). Returns `None` if the
+/// scenario does not fail at the given options. Assumes prefix-monotone
+/// failures — true for state corruption, which only ever accumulates; a
+/// non-monotone failure still shrinks to *a* failing prefix, just not
+/// necessarily the smallest.
+pub fn shrink_to_minimal_prefix(
+    scenario: &FuzzScenario,
+    options: ScenarioOptions,
+) -> Option<ShrunkFailure> {
+    let total = options
+        .request_limit
+        .unwrap_or_else(|| scenario.total_requests());
+    let probe = |limit: u64| {
+        run_scenario_with(
+            scenario,
+            ScenarioOptions {
+                request_limit: Some(limit),
+                ..options
+            },
+        )
+        .err()
+    };
+    let full_failure = probe(total)?;
+    if let Some(zero_failure) = probe(0) {
+        // Fails before any request is issued (preconditioning-time
+        // corruption): the empty prefix is the minimal reproduction.
+        return Some(ShrunkFailure {
+            minimal_requests: 0,
+            failure: zero_failure,
+        });
+    }
+    // Invariant: `lo` passes, `hi` fails.
+    let (mut lo, mut hi) = (0u64, total);
+    let mut best = full_failure;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        match probe(mid) {
+            Some(f) => {
+                best = f;
+                hi = mid;
+            }
+            None => lo = mid,
+        }
+    }
+    Some(ShrunkFailure {
+        minimal_requests: hi,
+        failure: best,
+    })
+}
+
+/// Pushes externally collected violations into the auditor, respecting the
+/// global cap.
+fn absorb(auditor: &mut Auditor, violations: Vec<Violation>) {
+    for v in violations {
+        if auditor.violations.len() >= MAX_VIOLATIONS {
+            break;
+        }
+        auditor.violations.push(v);
+    }
+}
+
+fn failure(scenario: &FuzzScenario, issued: u64, auditor: &Auditor) -> Box<ScenarioFailure> {
+    Box::new(ScenarioFailure {
+        seed: scenario.seed,
+        requests_issued: issued,
+        violations: auditor.violations().to_vec(),
+    })
+}
+
+/// Checks that every derived metric of a report is finite and in range —
+/// the zero-duration guard contract (a snapshot at `t == 0` must yield
+/// zeros, never NaN).
+fn check_report_sanity(report: &RunReport, context: &str, out: &mut Vec<Violation>) {
+    let checks = [
+        ("iops", report.iops()),
+        ("mean_read_latency_us", report.mean_read_latency_us()),
+        ("mean_write_latency_us", report.mean_write_latency_us()),
+        (
+            "write_amplification",
+            report.write_amplification(report.writes_completed),
+        ),
+        (
+            "mean_channel_utilization",
+            report.mean_channel_utilization(),
+        ),
+    ];
+    for (name, value) in checks {
+        if !value.is_finite() {
+            out.push(Violation::new(
+                Invariant::ReportSanity,
+                format!("{context}: {name} is {value}"),
+            ));
+        }
+    }
+    for (channel, utilization) in report.channel_utilization().iter().enumerate() {
+        if !utilization.is_finite() || *utilization < 0.0 {
+            out.push(Violation::new(
+                Invariant::ReportSanity,
+                format!("{context}: channel {channel} utilization is {utilization}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_workloads::fuzz::scenario;
+
+    #[test]
+    fn a_scenario_runs_clean_and_reports_work() {
+        let sc = scenario(3);
+        let outcome = run_scenario(&sc).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(outcome.requests_completed, sc.total_requests());
+        assert_eq!(outcome.sessions_run, sc.sessions.len());
+        assert!(outcome.checkpoints > 0, "checkpoints must fire");
+    }
+
+    #[test]
+    fn prefix_limits_bound_the_run() {
+        let sc = scenario(3);
+        let outcome = run_scenario_with(
+            &sc,
+            ScenarioOptions {
+                request_limit: Some(25),
+                ..ScenarioOptions::default()
+            },
+        )
+        .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(outcome.requests_completed, 25);
+        assert_eq!(outcome.sessions_run, 1);
+    }
+
+    #[test]
+    fn injected_corruption_fails_the_run_and_shrinks() {
+        let sc = scenario(3);
+        let total = sc.total_requests();
+        assert!(total > 60);
+        let options = ScenarioOptions {
+            request_limit: None,
+            corrupt_after: Some((60, CorruptionKind::InflateValidCount)),
+        };
+        let failure = run_scenario_with(&sc, options).expect_err("corruption must be caught");
+        assert!(
+            failure
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::ValidCount),
+            "{failure}"
+        );
+        assert!(failure.to_string().contains("AERO_FUZZ_SEED"));
+
+        let shrunk = shrink_to_minimal_prefix(&sc, options).expect("the full run fails");
+        assert!(
+            shrunk.minimal_requests >= 60,
+            "corruption fires at request 60, so shorter prefixes pass \
+             (got {})",
+            shrunk.minimal_requests
+        );
+        assert!(
+            shrunk.minimal_requests <= total,
+            "a prefix cannot exceed the scenario"
+        );
+        assert!(shrunk
+            .failure
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::ValidCount));
+    }
+
+    #[test]
+    fn shrink_returns_none_for_a_clean_scenario() {
+        let sc = scenario(5);
+        assert!(shrink_to_minimal_prefix(&sc, ScenarioOptions::default()).is_none());
+    }
+}

@@ -55,14 +55,16 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use aero_workloads::request::{IoOp, IoRequest};
 use aero_workloads::source::WorkloadSource;
 
+use crate::audit::{record, AuditReport, Auditor, Invariant, Violation};
+use crate::ftl::Ppa;
 use crate::latency::LatencyRecorder;
 use crate::report::{ChannelStats, RunReport};
-use crate::ssd::{EraseJob, PageTxn, Ssd};
+use crate::ssd::{EraseJob, PageTxn, PlacedWrite, Ssd};
 
 /// A request that just completed, as seen by [`SimObserver`] hooks.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +94,25 @@ pub struct EraseEvent {
     pub latency_ns: u64,
     /// Simulated time at which the erase finished.
     pub completed_at: u64,
+}
+
+/// One physical page program (user write or garbage-collection rewrite),
+/// as seen by [`SimObserver`] hooks and the audit oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct PageWriteEvent {
+    /// Die the page was programmed on.
+    pub die: usize,
+    /// Logical page number written.
+    pub lpn: u64,
+    /// Physical location the page landed on.
+    pub ppa: Ppa,
+    /// The logical page's previous location, now invalidated (`None` for a
+    /// first write).
+    pub previous: Option<Ppa>,
+    /// True for a garbage-collection migration, false for a user write.
+    pub gc: bool,
+    /// Simulated time of the dispatch that placed the page.
+    pub at: u64,
 }
 
 /// A garbage-collection invocation (victim selection) that just started.
@@ -144,6 +165,10 @@ pub trait SimObserver {
 
     /// Garbage collection was invoked (a victim block was selected).
     fn on_gc_invoked(&mut self, _gc: &GcEvent) {}
+
+    /// A physical page was programmed (user write or GC rewrite), with its
+    /// placement and the location it invalidated.
+    fn on_page_write(&mut self, _write: &PageWriteEvent) {}
 }
 
 /// Completion tracking for one in-flight request.
@@ -190,6 +215,9 @@ pub struct Simulation<'a, S> {
     /// Number of `Some` entries in `in_flight`.
     in_flight_live: usize,
     observers: Vec<&'a mut dyn SimObserver>,
+    /// Optional attached auditor: receives page-write/erase events for its
+    /// shadow oracle and runs full invariant checkpoints on its cadence.
+    auditor: Option<&'a mut Auditor>,
     now: u64,
     page_bytes: u32,
     // Run-local measurement accumulators.
@@ -229,6 +257,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             in_flight_base,
             in_flight_live: 0,
             observers: Vec::new(),
+            auditor: None,
             now: 0,
             page_bytes,
             scheme,
@@ -263,6 +292,197 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
     pub fn with_observer(mut self, observer: &'a mut dyn SimObserver) -> Self {
         self.add_observer(observer);
         self
+    }
+
+    /// Attaches an [`Auditor`] for the rest of the run. The session feeds
+    /// it every page write and erase (keeping its shadow oracle current)
+    /// and runs a full invariant checkpoint on the auditor's cadence.
+    /// Reusing one auditor across back-to-back sessions on a drive keeps
+    /// oracle continuity; at most one auditor can be attached.
+    pub fn attach_auditor(&mut self, auditor: &'a mut Auditor) {
+        assert!(
+            self.auditor.is_none(),
+            "a session can carry at most one auditor"
+        );
+        self.auditor = Some(auditor);
+    }
+
+    /// Builder-style [`Simulation::attach_auditor`].
+    #[must_use]
+    pub fn with_auditor(mut self, auditor: &'a mut Auditor) -> Self {
+        self.attach_auditor(auditor);
+        self
+    }
+
+    /// True once the attached auditor has recorded at least one violation
+    /// (always false when no auditor is attached). Lets a driver stop a
+    /// run at the first divergence instead of burying it under thousands
+    /// of follow-on events.
+    pub fn audit_failed(&self) -> bool {
+        self.auditor.as_deref().is_some_and(|a| !a.is_clean())
+    }
+
+    /// Audits the run right now: every drive-level invariant
+    /// ([`Ssd::audit`]), the session-level invariants (in-flight request
+    /// accounting, per-die scheduler clocks), and — when an auditor with a
+    /// shadow oracle is attached — the oracle comparison. Returns the
+    /// violations found by *this* pass; violations the attached auditor
+    /// accumulated earlier are not repeated.
+    pub fn audit(&mut self) -> AuditReport {
+        let mut violations = Vec::new();
+        self.ssd.collect_drive_violations(&mut violations);
+        self.collect_session_violations(&mut violations);
+        if let Some(auditor) = self.auditor.as_deref_mut() {
+            if let Some(oracle) = auditor.oracle.as_mut() {
+                oracle.verify(self.ssd, &mut violations);
+            }
+        }
+        AuditReport { violations }
+    }
+
+    /// Forwards a deliberate FTL corruption to the borrowed drive. Test
+    /// support only (see [`Ssd::debug_corrupt`]): lets the scenario driver
+    /// prove mid-run that the auditor catches corruption.
+    #[doc(hidden)]
+    pub fn debug_corrupt(&mut self, kind: crate::audit::CorruptionKind) {
+        self.ssd.debug_corrupt(kind);
+    }
+
+    /// Session-level invariants: the in-flight slab is dense and
+    /// internally consistent, queued page transactions reference live
+    /// requests with matching page counts, and per-die scheduler clocks
+    /// are coherent (work pending ⇒ wake-up scheduled, never in the past).
+    fn collect_session_violations(&self, out: &mut Vec<Violation>) {
+        // Slab density: ids are handed out sequentially, so the slab spans
+        // exactly [in_flight_base, next_request_id).
+        if self.in_flight_base + self.in_flight.len() as u64 != self.ssd.next_request_id {
+            record(
+                out,
+                Invariant::InFlight,
+                format!(
+                    "slab spans [{}, {}) but next request id is {}",
+                    self.in_flight_base,
+                    self.in_flight_base + self.in_flight.len() as u64,
+                    self.ssd.next_request_id
+                ),
+            );
+        }
+        let live = self.in_flight.iter().filter(|e| e.is_some()).count();
+        if live != self.in_flight_live {
+            record(
+                out,
+                Invariant::InFlight,
+                format!(
+                    "in_flight_live says {} but the slab holds {live} live entries",
+                    self.in_flight_live
+                ),
+            );
+        }
+        for (slot, entry) in self.in_flight.iter().enumerate() {
+            if let Some(state) = entry {
+                if state.remaining_pages == 0 {
+                    record(
+                        out,
+                        Invariant::InFlight,
+                        format!(
+                            "request {} is live with zero remaining pages",
+                            self.in_flight_base + slot as u64
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Every queued page transaction of this session must reference a
+        // live request, and per request the queued pages must equal its
+        // remaining-page count exactly (pages are either queued or
+        // dispatched-and-counted, never both or neither). Transactions
+        // with pre-session ids belong to an abandoned session and drain
+        // harmlessly.
+        let mut queued: HashMap<u64, u32> = HashMap::new();
+        for die in &self.ssd.dies {
+            for txn in die.user_reads.iter().chain(die.user_writes.iter()) {
+                if txn.request >= self.ssd.next_request_id {
+                    record(
+                        out,
+                        Invariant::InFlight,
+                        format!(
+                            "queued transaction references unissued request id {}",
+                            txn.request
+                        ),
+                    );
+                } else if txn.request >= self.in_flight_base {
+                    *queued.entry(txn.request).or_insert(0) += 1;
+                }
+            }
+        }
+        for (slot, entry) in self.in_flight.iter().enumerate() {
+            let id = self.in_flight_base + slot as u64;
+            let expected = entry.as_ref().map_or(0, |s| s.remaining_pages);
+            let found = queued.get(&id).copied().unwrap_or(0);
+            if expected != found {
+                record(
+                    out,
+                    Invariant::InFlight,
+                    format!("request {id}: {found} pages queued but {expected} remaining"),
+                );
+            }
+        }
+
+        // Scheduler clocks: a die with pending work must have a wake-up
+        // scheduled, and no wake-up may lie in the simulated past
+        // (processed events are consumed in time order).
+        for (die_idx, die) in self.ssd.dies.iter().enumerate() {
+            if die.has_work() && die.next_wake == u64::MAX {
+                record(
+                    out,
+                    Invariant::SchedulerClock,
+                    format!("die {die_idx} has pending work but no scheduled wake-up"),
+                );
+            }
+            if die.next_wake != u64::MAX && die.next_wake < self.now {
+                record(
+                    out,
+                    Invariant::SchedulerClock,
+                    format!(
+                        "die {die_idx}: wake-up at {} lies before the clock {}",
+                        die.next_wake, self.now
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Runs a full auditor checkpoint (drive + session + oracle) into the
+    /// attached auditor's violation log.
+    fn run_checkpoint(&mut self) {
+        let Some(auditor) = self.auditor.take() else {
+            return;
+        };
+        auditor.checkpoint(self.ssd);
+        self.collect_session_violations(&mut auditor.violations);
+        self.auditor = Some(auditor);
+    }
+
+    /// Publishes one placed page write to the auditor's oracle and any
+    /// observers.
+    fn note_page_write(&mut self, die: usize, lpn: u64, placed: PlacedWrite, gc: bool, at: u64) {
+        if let Some(auditor) = self.auditor.as_deref_mut() {
+            auditor.observe_page_write(lpn, placed.ppa, placed.previous);
+        }
+        if !self.observers.is_empty() {
+            let event = PageWriteEvent {
+                die,
+                lpn,
+                ppa: placed.ppa,
+                previous: placed.previous,
+                gc,
+                at,
+            };
+            for observer in &mut self.observers {
+                observer.on_page_write(&event);
+            }
+        }
     }
 
     /// Current simulated time in nanoseconds: the timestamp of the most
@@ -324,6 +544,9 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 self.ssd.dies[die_idx].next_wake = u64::MAX;
             }
             self.dispatch(die_idx, now);
+        }
+        if self.auditor.as_deref_mut().is_some_and(Auditor::note_event) {
+            self.run_checkpoint();
         }
         true
     }
@@ -590,7 +813,8 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 self.ssd.channels[channel_idx].wait_ns += now - deferred_at;
             }
             let program_scale = self.ssd.dies[die_idx].program_scale;
-            if self.ssd.place_write(die_idx, txn.lpn).is_some() {
+            if let Some(placed) = self.ssd.place_write(die_idx, txn.lpn) {
+                self.note_page_write(die_idx, txn.lpn, placed, false, now);
                 // The deferral guard above means the bus is free here: a
                 // user write never waits inside `reserve` — its bus waiting
                 // is modeled exclusively by the deferral path.
@@ -659,13 +883,18 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 self.ssd.channels[channel_idx].reserve(sense_done, transfer) + transfer;
             let mut done = read_out_done;
             let program_scale = self.ssd.dies[die_idx].program_scale;
-            if lpn != u64::MAX
+            let still_valid = lpn != u64::MAX
                 && self.ssd.dies[die_idx]
                     .ftl
                     .block(mv.victim_block)
-                    .is_valid(mv.page)
-                && self.ssd.place_write(die_idx, lpn).is_some()
-            {
+                    .is_valid(mv.page);
+            let placed = if still_valid {
+                self.ssd.place_write(die_idx, lpn)
+            } else {
+                None
+            };
+            if let Some(placed) = placed {
+                self.note_page_write(die_idx, lpn, placed, true, now);
                 let write_in_done =
                     self.ssd.channels[channel_idx].reserve(read_out_done, transfer) + transfer;
                 // GC rewrites pay the same wear-dependent program-latency
@@ -702,6 +931,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
     fn continue_erase(&mut self, die_idx: usize, now: u64) {
         let suspension = self.ssd.config.erase_suspension;
         let has_observers = !self.observers.is_empty();
+        let pages_per_block = self.ssd.config.family.geometry.pages_per_block;
         let die = &mut self.ssd.dies[die_idx];
         let Some(job) = die.erase_job.as_mut() else {
             return;
@@ -720,8 +950,10 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         };
         let finished = job.next_loop >= job.loop_latencies.len();
         let mut erase_event = None;
+        let mut finished_block = None;
         if finished {
             let block = job.block;
+            finished_block = Some(block);
             // The event (and its O(loops) latency sum) is only built when
             // someone is listening.
             if has_observers {
@@ -735,12 +967,25 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             }
             die.erase_job = None;
             die.ftl.finish_erase(block);
+            // The erase wiped the block's contents, so its reverse-map
+            // entries retire with it. Every live page was migrated or
+            // invalidated before the erase dispatched (which also set its
+            // entry to MAX), so this sweep is defense in depth: if any
+            // path ever leaks a stale entry, it dies here instead of
+            // resurfacing when the block is reused.
+            let base = (block * pages_per_block) as usize;
+            die.p2l[base..base + pages_per_block as usize].fill(u64::MAX);
             // GC for this victim is over once its migrations have drained
             // (they always have by the time the erase is dispatched; checked
             // here for robustness rather than assumed).
             die.gc_in_progress = !die.gc_moves.is_empty();
         }
         self.make_busy(die_idx, now, latency.max(1));
+        if let Some(block) = finished_block {
+            if let Some(auditor) = self.auditor.as_deref_mut() {
+                auditor.observe_erase(die_idx, block);
+            }
+        }
         if let Some(event) = erase_event {
             for observer in &mut self.observers {
                 observer.on_erase_complete(&event);
@@ -1106,6 +1351,150 @@ mod tests {
         assert_eq!(counter.erase_loops, report.erase_stats.loops);
         assert_eq!(counter.gc_invocations, report.gc_invocations);
         assert!(counter.erases > 0, "the workload must trigger erases");
+    }
+
+    /// Regression (fuzz seed 114): logical pages beyond the mapped range
+    /// ("orphans", from a workload footprint larger than the drive's
+    /// logical space) flow through GC migration and block erases without
+    /// leaving stale reverse-map entries behind — the erase retires the
+    /// block's `p2l` range, so the drive audits clean and the shadow
+    /// oracle agrees throughout.
+    #[test]
+    fn orphan_pages_survive_gc_with_clean_audits() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline).with_seed(3));
+        ssd.fill_fraction(0.85);
+        let workload = SyntheticWorkload {
+            read_ratio: 0.1,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 30_000.0,
+            footprint_bytes: 64 << 20, // far beyond the ~36 MiB logical space
+            hot_access_fraction: 0.6,
+            hot_region_fraction: 0.1,
+        };
+        let mut auditor = crate::audit::Auditor::new()
+            .check_every(64)
+            .with_oracle(&ssd);
+        let report = ssd
+            .session(IterSource::new(workload.stream(1).take(3_000)))
+            .with_auditor(&mut auditor)
+            .run_to_end();
+        assert!(
+            report.erase_stats.operations > 0,
+            "orphan-holding blocks must get erased for the regression to bite"
+        );
+        assert!(auditor.is_clean(), "{:?}", auditor.violations());
+        let audit = ssd.audit();
+        assert!(audit.is_clean(), "{audit}");
+    }
+
+    /// Satellite regression: a snapshot taken at `t == 0`, before the
+    /// session processed anything, is all zeros with every rate/utilization
+    /// helper finite (no NaN from a zero makespan) and the channel vector
+    /// at full length.
+    #[test]
+    fn snapshot_at_session_start_is_all_zeros() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
+        ssd.fill_fraction(0.5);
+        let trace = SyntheticWorkload::default_test().generate(100, 1);
+        let sim = ssd.session(TraceSource::new(&trace));
+        let snap = sim.snapshot();
+        assert_eq!(snap.makespan_ns, 0);
+        assert_eq!(snap.reads_completed + snap.writes_completed, 0);
+        assert_eq!(snap.iops(), 0.0);
+        assert_eq!(snap.mean_read_latency_us(), 0.0);
+        assert_eq!(snap.mean_write_latency_us(), 0.0);
+        assert_eq!(snap.channel_utilization(), vec![0.0, 0.0]);
+        assert_eq!(snap.mean_channel_utilization(), 0.0);
+        assert!(snap.write_amplification(0).is_finite());
+    }
+
+    /// An attached auditor stays clean through a GC-heavy run, fires
+    /// checkpoints on its cadence, and does not perturb the simulation.
+    #[test]
+    fn attached_auditor_is_clean_and_nonintrusive() {
+        let workload = SyntheticWorkload {
+            read_ratio: 0.3,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 60_000.0,
+            footprint_bytes: 4 << 20,
+            hot_access_fraction: 0.9,
+            hot_region_fraction: 0.3,
+        };
+        let mk = || {
+            let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Aero).with_seed(8));
+            ssd.fill_fraction(0.6);
+            ssd
+        };
+        let mut plain = mk();
+        let reference = plain
+            .session(IterSource::new(workload.stream(4).take(2_000)))
+            .run_to_end();
+
+        let mut audited = mk();
+        let mut auditor = crate::audit::Auditor::new()
+            .check_every(128)
+            .with_oracle(&audited);
+        let report = audited
+            .session(IterSource::new(workload.stream(4).take(2_000)))
+            .with_auditor(&mut auditor)
+            .run_to_end();
+        assert_eq!(report, reference, "auditing must not perturb the run");
+        assert!(auditor.is_clean(), "{:?}", auditor.violations());
+        assert!(auditor.checkpoints() > 1, "cadence checkpoints must fire");
+        assert!(report.gc_invocations > 0, "the run must exercise GC");
+        assert!(
+            auditor.oracle().expect("oracle attached").writes_observed() > 0,
+            "the oracle must see the run's page writes"
+        );
+    }
+
+    /// Observers receive a `PageWriteEvent` for every user page write and
+    /// GC rewrite the report counts.
+    #[test]
+    fn observers_see_every_page_write() {
+        #[derive(Default)]
+        struct WriteWatch {
+            user: u64,
+            gc: u64,
+            invalidations: u64,
+        }
+        impl SimObserver for WriteWatch {
+            fn on_page_write(&mut self, write: &PageWriteEvent) {
+                if write.gc {
+                    self.gc += 1;
+                } else {
+                    self.user += 1;
+                }
+                if write.previous.is_some() {
+                    assert_ne!(Some(write.ppa), write.previous);
+                    self.invalidations += 1;
+                }
+                assert_eq!(write.ppa.die as usize, write.die);
+            }
+        }
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline).with_seed(2));
+        ssd.fill_fraction(0.7);
+        let pages_before = ssd.user_pages_written();
+        let workload = SyntheticWorkload {
+            read_ratio: 0.2,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 60_000.0,
+            footprint_bytes: 4 << 20,
+            hot_access_fraction: 0.9,
+            hot_region_fraction: 0.3,
+        };
+        let mut watch = WriteWatch::default();
+        let report = ssd
+            .session(IterSource::new(workload.stream(6).take(2_000)))
+            .with_observer(&mut watch)
+            .run_to_end();
+        assert_eq!(watch.gc, report.gc_page_moves);
+        assert_eq!(
+            watch.user,
+            ssd.user_pages_written() - pages_before,
+            "every user page program is observed"
+        );
+        assert!(watch.invalidations > 0, "overwrites must invalidate");
     }
 
     /// `run_until` advances the clock even past the last event, and

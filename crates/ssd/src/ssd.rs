@@ -78,6 +78,17 @@ pub(crate) struct GcMove {
     pub(crate) page: u32,
 }
 
+/// Result of placing one logical page write: where it landed and which
+/// physical page (if any) it invalidated. The session publishes this pair
+/// to observers and to the audit oracle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlacedWrite {
+    pub(crate) ppa: Ppa,
+    /// The previous location of the logical page, now invalid (`None` for
+    /// a first write).
+    pub(crate) previous: Option<Ppa>,
+}
+
 /// The (at most one) erase in flight on a die. Loop latencies are decided
 /// once when the erase is dispatched and then consumed through `next_loop`;
 /// no per-loop queue mutation is needed.
@@ -290,6 +301,13 @@ impl Ssd {
         self.mapping.mapped_fraction()
     }
 
+    /// Read access to the drive's logical-to-physical page mapping (the
+    /// locations reads are served from). Used by the audit oracle's
+    /// comparisons and available to any external consistency checker.
+    pub fn mapping(&self) -> &PageMapping {
+        &self.mapping
+    }
+
     /// Pre-ages every block of every die to the given P/E-cycle count
     /// (evaluations at PEC 0.5K / 2.5K / 4.5K).
     pub fn precondition_wear(&mut self, pec: u32) {
@@ -420,7 +438,7 @@ impl Ssd {
     /// updates the mapping, invalidates the previous location, and programs
     /// the chip. Returns the physical placement, or `None` if the die has no
     /// space (caller must free space first).
-    pub(crate) fn place_write(&mut self, die_idx: usize, lpn: u64) -> Option<Ppa> {
+    pub(crate) fn place_write(&mut self, die_idx: usize, lpn: u64) -> Option<PlacedWrite> {
         let pages_per_block = self.config.family.geometry.pages_per_block;
         let die = &mut self.dies[die_idx];
         let (block, page, _) = die.ftl.allocate_page()?;
@@ -436,12 +454,13 @@ impl Ssd {
             .expect("frontier pages are programmed in order on erased blocks");
         self.user_pages_written += 1;
         // Invalidate the previous location of this logical page.
-        if let Some(old) = self.mapping.update(lpn, ppa) {
+        let previous = self.mapping.update(lpn, ppa);
+        if let Some(old) = previous {
             let old_die = &mut self.dies[old.die as usize];
             old_die.ftl.block_mut(old.block).mark_invalid(old.page);
             old_die.p2l[(old.block * pages_per_block + old.page) as usize] = u64::MAX;
         }
-        Some(ppa)
+        Some(PlacedWrite { ppa, previous })
     }
 
     pub(crate) fn average_pec(&self, die_idx: usize) -> u32 {

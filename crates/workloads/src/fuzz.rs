@@ -1,0 +1,349 @@
+//! Deterministic scenario generation for the simulator fuzzer.
+//!
+//! A [`FuzzScenario`] is a complete, seeded description of one randomized
+//! simulator run: the erase scheme, suspension flag, channel layout, wear
+//! and fill preconditioning, the auditor's checkpoint cadence, and one or
+//! more back-to-back [`SessionPlan`]s whose [`PhasePlan`]s mix read/write
+//! ratios, request sizes, arrival burstiness, hot/cold skew, and footprints
+//! (including footprints larger than the drive's logical space, which
+//! exercises the FTL's out-of-range write path).
+//!
+//! Generation is **pure**: [`scenario`]`(seed)` derives everything from a
+//! ChaCha stream seeded by `seed`, so the same seed always produces the
+//! same scenario byte for byte, on every machine — a failing seed printed
+//! by CI reproduces locally with no corpus files. The scenarios are
+//! *descriptions* only; the driver that builds a drive and runs them under
+//! the state auditor lives in `aero_ssd::scenario`.
+//!
+//! ```
+//! use aero_workloads::fuzz::scenario;
+//!
+//! let a = scenario(42);
+//! let b = scenario(42);
+//! assert_eq!(a, b);
+//! assert_eq!(format!("{a:?}"), format!("{b:?}"));
+//! ```
+
+use aero_core::SchemeKind;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::request::IoRequest;
+use crate::source::WorkloadSource;
+use crate::synth::{SyntheticStream, SyntheticWorkload};
+
+/// Channel layouts the fuzzer rotates through (channels × chips per
+/// channel): private buses, one fully shared bus, and mixed layouts, at
+/// 2–4 dies so debug-build runs stay fast.
+pub const LAYOUTS: [(u32, u32); 4] = [(2, 1), (1, 2), (2, 2), (4, 1)];
+
+/// Preconditioning wear levels the fuzzer samples (0 = fresh drive; the
+/// rest match the paper's evaluation points, with 4500 close to end of
+/// life where erases start exhausting the loop budget).
+pub const WEAR_LEVELS: [u32; 5] = [0, 0, 500, 2500, 4500];
+
+/// One workload phase within a session: a synthetic workload configuration
+/// plus how many of its requests to issue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasePlan {
+    /// The workload configuration driving this phase.
+    pub workload: SyntheticWorkload,
+    /// Number of requests the phase contributes.
+    pub requests: u64,
+    /// Seed of the phase's request stream.
+    pub seed: u64,
+}
+
+/// One simulation session: an ordered sequence of phases replayed
+/// back-to-back on a continuing timeline (a low-inter-arrival phase after
+/// a calm one is a burst), plus an optional mid-run snapshot cadence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionPlan {
+    /// The phases, in issue order.
+    pub phases: Vec<PhasePlan>,
+    /// When `Some`, the driver advances the run in windows of this many
+    /// simulated nanoseconds and takes a [`snapshot`] per window instead of
+    /// draining the session in one call.
+    ///
+    /// [`snapshot`]: https://docs.rs/aero-ssd (Simulation::snapshot)
+    pub snapshot_every_ns: Option<u64>,
+}
+
+impl SessionPlan {
+    /// Total requests across all phases.
+    pub fn total_requests(&self) -> u64 {
+        self.phases.iter().map(|p| p.requests).sum()
+    }
+
+    /// A lazy request stream over the session's phases. Each phase's
+    /// synthetic clock starts at zero; the stream offsets it by the
+    /// previous phase's final arrival time, so arrivals are non-decreasing
+    /// across the whole session (the [`WorkloadSource`] contract holds by
+    /// construction).
+    pub fn stream(&self) -> SessionStream {
+        SessionStream {
+            phases: self.phases.clone().into_iter(),
+            current: None,
+            offset_ns: 0,
+            last_arrival_ns: 0,
+        }
+    }
+}
+
+/// A complete seeded fuzz scenario: drive knobs plus back-to-back session
+/// plans. Produced by [`scenario`]; executed by `aero_ssd::scenario`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzScenario {
+    /// The seed the scenario was derived from (also used as the drive
+    /// seed).
+    pub seed: u64,
+    /// Erase scheme under test.
+    pub scheme: SchemeKind,
+    /// Whether loop-granular erase suspension is enabled.
+    pub erase_suspension: bool,
+    /// Number of channels.
+    pub channels: u32,
+    /// Chips per channel.
+    pub chips_per_channel: u32,
+    /// Pre-aging level in P/E cycles (0 = fresh).
+    pub precondition_pec: u32,
+    /// Fraction of the logical space sequentially filled before the first
+    /// session.
+    pub fill_fraction: f64,
+    /// Auditor checkpoint cadence, in processed simulation events.
+    pub audit_every_events: u64,
+    /// The sessions, run back-to-back on one drive.
+    pub sessions: Vec<SessionPlan>,
+}
+
+impl FuzzScenario {
+    /// Total requests across all sessions.
+    pub fn total_requests(&self) -> u64 {
+        self.sessions.iter().map(SessionPlan::total_requests).sum()
+    }
+}
+
+/// Derives the complete scenario for a seed. Pure and deterministic: the
+/// same seed yields the same scenario byte for byte.
+pub fn scenario(seed: u64) -> FuzzScenario {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let scheme = SchemeKind::all()[rng.gen_range(0..SchemeKind::all().len())];
+    let erase_suspension = rng.gen::<bool>();
+    let (channels, chips_per_channel) = LAYOUTS[rng.gen_range(0..LAYOUTS.len())];
+    let precondition_pec = WEAR_LEVELS[rng.gen_range(0..WEAR_LEVELS.len())];
+    let fill_fraction = rng.gen_range(0.0..0.9);
+    let audit_every_events = [64u64, 128, 256, 512][rng.gen_range(0..4usize)];
+
+    let mut budget: u64 = rng.gen_range(300..=1100);
+    let session_count = rng.gen_range(1..=3usize);
+    let mut sessions = Vec::with_capacity(session_count);
+    for _ in 0..session_count {
+        if budget == 0 {
+            break;
+        }
+        let phase_count = rng.gen_range(1..=3usize);
+        let mut phases = Vec::with_capacity(phase_count);
+        for _ in 0..phase_count {
+            if budget == 0 {
+                break;
+            }
+            let requests = rng.gen_range(40..=300u64).min(budget);
+            budget -= requests;
+            phases.push(PhasePlan {
+                workload: phase_workload(&mut rng),
+                requests,
+                seed: rng.gen::<u64>(),
+            });
+        }
+        let snapshot_every_ns = if rng.gen::<f64>() < 0.4 {
+            Some(rng.gen_range(5_000_000..=80_000_000))
+        } else {
+            None
+        };
+        if !phases.is_empty() {
+            sessions.push(SessionPlan {
+                phases,
+                snapshot_every_ns,
+            });
+        }
+    }
+    debug_assert!(!sessions.is_empty(), "the budget guarantees one session");
+
+    FuzzScenario {
+        seed,
+        scheme,
+        erase_suspension,
+        channels,
+        chips_per_channel,
+        precondition_pec,
+        fill_fraction,
+        audit_every_events,
+        sessions,
+    }
+}
+
+/// Draws one phase's workload knobs. Footprints deliberately include sizes
+/// larger than a small test drive's logical space, so some logical pages
+/// fall outside the mapping — the FTL's documented out-of-range write path
+/// gets fuzzed too.
+fn phase_workload(rng: &mut ChaCha12Rng) -> SyntheticWorkload {
+    let burst = rng.gen::<f64>() < 0.3;
+    let mean_inter_arrival_ns = if burst {
+        rng.gen_range(4_000.0..30_000.0)
+    } else {
+        rng.gen_range(40_000.0..250_000.0)
+    };
+    let footprint_bytes = [2u64 << 20, 4 << 20, 8 << 20, 64 << 20][rng.gen_range(0..4usize)];
+    SyntheticWorkload {
+        read_ratio: rng.gen_range(0.0..=1.0),
+        mean_request_bytes: rng.gen_range(4096.0..65536.0),
+        mean_inter_arrival_ns,
+        footprint_bytes,
+        hot_access_fraction: rng.gen_range(0.5..0.95),
+        hot_region_fraction: rng.gen_range(0.05..0.45),
+    }
+}
+
+/// Lazy request stream over a [`SessionPlan`]'s phases. Arrivals are
+/// non-decreasing across phase boundaries by construction (each phase's
+/// clock is offset by the previous phase's final arrival), so the stream
+/// satisfies the [`WorkloadSource`] contract directly.
+#[derive(Debug)]
+pub struct SessionStream {
+    phases: std::vec::IntoIter<PhasePlan>,
+    /// The active phase's stream and its remaining request count.
+    current: Option<(SyntheticStream, u64)>,
+    offset_ns: u64,
+    last_arrival_ns: u64,
+}
+
+impl Iterator for SessionStream {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        loop {
+            if let Some((stream, remaining)) = self.current.as_mut() {
+                if *remaining > 0 {
+                    let mut request = stream.next().expect("synthetic streams are unbounded");
+                    *remaining -= 1;
+                    let arrival = request
+                        .arrival_ns
+                        .saturating_add(self.offset_ns)
+                        .max(self.last_arrival_ns);
+                    request.arrival_ns = arrival;
+                    self.last_arrival_ns = arrival;
+                    return Some(request);
+                }
+                // Phase exhausted: the next phase continues the timeline.
+                self.offset_ns = self.last_arrival_ns;
+                self.current = None;
+            }
+            let phase = self.phases.next()?;
+            self.current = Some((phase.workload.stream(phase.seed), phase.requests));
+        }
+    }
+}
+
+impl WorkloadSource for SessionStream {
+    fn next_request(&mut self) -> Option<IoRequest> {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_scenario_byte_for_byte() {
+        for seed in [0u64, 1, 7, 42, u64::MAX] {
+            let a = scenario(seed);
+            let b = scenario(seed);
+            assert_eq!(a, b);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        assert_ne!(scenario(1), scenario(2));
+    }
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        for seed in 0..64u64 {
+            let sc = scenario(seed);
+            assert!(!sc.sessions.is_empty(), "seed {seed}: no sessions");
+            assert!(sc.total_requests() >= 40, "seed {seed}: too few requests");
+            assert!(sc.total_requests() <= 1100, "seed {seed}: budget overrun");
+            assert!(sc.audit_every_events > 0);
+            assert!((0.0..0.9).contains(&sc.fill_fraction));
+            for session in &sc.sessions {
+                assert!(!session.phases.is_empty());
+                for phase in &session.phases {
+                    assert!(phase.requests > 0);
+                    // Must not panic: every generated workload is valid.
+                    phase.workload.validate();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sixty_four_seeds_cover_all_schemes_suspensions_and_layouts() {
+        let mut schemes = HashSet::new();
+        let mut suspensions = HashSet::new();
+        let mut layouts = HashSet::new();
+        for seed in 0..64u64 {
+            let sc = scenario(seed);
+            schemes.insert(sc.scheme.label());
+            suspensions.insert(sc.erase_suspension);
+            layouts.insert((sc.channels, sc.chips_per_channel));
+        }
+        assert_eq!(schemes.len(), 5, "all five schemes: {schemes:?}");
+        assert_eq!(suspensions.len(), 2);
+        assert!(layouts.len() >= 2, "layout coverage: {layouts:?}");
+    }
+
+    #[test]
+    fn session_stream_is_ordered_and_counts_match() {
+        let sc = scenario(11);
+        for session in &sc.sessions {
+            let mut last = 0;
+            let mut count = 0u64;
+            for request in session.stream() {
+                assert!(request.arrival_ns >= last, "arrivals must not regress");
+                last = request.arrival_ns;
+                count += 1;
+            }
+            assert_eq!(count, session.total_requests());
+        }
+    }
+
+    #[test]
+    fn session_stream_is_deterministic() {
+        let sc = scenario(23);
+        let plan = &sc.sessions[0];
+        let a: Vec<IoRequest> = plan.stream().collect();
+        let b: Vec<IoRequest> = plan.stream().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_boundaries_continue_the_timeline() {
+        // Find a scenario with a multi-phase session and check the second
+        // phase starts no earlier than the first ended.
+        let sc = (0..64)
+            .map(scenario)
+            .find(|s| s.sessions.iter().any(|p| p.phases.len() >= 2))
+            .expect("some seed has a multi-phase session");
+        let plan = sc
+            .sessions
+            .iter()
+            .find(|p| p.phases.len() >= 2)
+            .expect("checked above");
+        let first_len = plan.phases[0].requests as usize;
+        let requests: Vec<IoRequest> = plan.stream().collect();
+        let first_end = requests[first_len - 1].arrival_ns;
+        assert!(requests[first_len].arrival_ns >= first_end);
+    }
+}

@@ -20,7 +20,10 @@
 //!   session API consumes, with adapters for traces ([`TraceSource`]) and
 //!   arbitrary request iterators ([`IterSource`]);
 //! * [`precondition`] — sequential fill workloads used to bring a simulated
-//!   SSD to a steady utilization before measurement.
+//!   SSD to a steady utilization before measurement;
+//! * [`fuzz`] — deterministic seeded scenario generation (schemes ×
+//!   layouts × wear × multi-phase sessions) for the simulator's
+//!   audit-driven scenario fuzzer.
 //!
 //! Workloads can be **materialized** (a [`Trace`] holding every request) or
 //! **streamed** (a [`WorkloadSource`] yielding requests one at a time with
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod fuzz;
 pub mod precondition;
 pub mod request;
 pub mod source;
@@ -50,6 +54,7 @@ pub mod synth;
 pub mod trace;
 
 pub use catalog::{WorkloadId, WorkloadSpec};
+pub use fuzz::{FuzzScenario, PhasePlan, SessionPlan};
 pub use request::{IoOp, IoRequest, Trace};
 pub use source::{IterSource, TraceSource, WorkloadSource};
 pub use synth::{SyntheticStream, SyntheticWorkload};

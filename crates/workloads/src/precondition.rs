@@ -17,9 +17,16 @@ use crate::request::{IoOp, IoRequest, Trace};
 /// using writes of `write_bytes` each, back to back (zero inter-arrival time —
 /// preconditioning is not latency-sensitive).
 ///
+/// The fill covers **exactly** `fill_bytes`: when `fill_bytes` is not a
+/// multiple of `write_bytes`, the final write is clamped to the remainder
+/// instead of overshooting past the requested region (overshooting would
+/// silently touch logical pages the caller never asked to precondition).
+///
 /// # Panics
 ///
-/// Panics if `write_bytes` is zero or not a multiple of 4 KiB.
+/// Panics if `write_bytes` is zero or not a multiple of 4 KiB, or if a
+/// clamped final write would exceed `u32::MAX` bytes (unreachable for sane
+/// write sizes).
 pub fn sequential_fill(fill_bytes: u64, write_bytes: u32) -> Trace {
     assert!(
         write_bytes > 0 && write_bytes.is_multiple_of(4096),
@@ -29,13 +36,16 @@ pub fn sequential_fill(fill_bytes: u64, write_bytes: u32) -> Trace {
     let mut offset = 0u64;
     let mut t = 0u64;
     while offset < fill_bytes {
+        let remaining = fill_bytes - offset;
+        let size = u32::try_from(remaining.min(write_bytes as u64))
+            .expect("clamped size never exceeds write_bytes");
         requests.push(IoRequest {
             arrival_ns: t,
             op: IoOp::Write,
             lba: offset / 512,
-            size_bytes: write_bytes,
+            size_bytes: size,
         });
-        offset += write_bytes as u64;
+        offset += size as u64;
         t += 1; // strictly increasing arrival order
     }
     Trace::new(requests)
@@ -95,5 +105,56 @@ mod tests {
     #[should_panic(expected = "multiple of 4 KiB")]
     fn misaligned_write_size_rejected() {
         let _ = sequential_fill(1 << 20, 1000);
+    }
+
+    /// Satellite: the fill covers exactly `fill_bytes` even when it is not
+    /// a multiple of the write size — the final write is clamped, never
+    /// overshooting into logical space the caller did not ask to touch.
+    #[test]
+    fn sequential_fill_clamps_the_final_write() {
+        let fill = (1 << 20) + 6 * 1024; // 1 MiB + 6 KiB
+        let trace = sequential_fill(fill, 64 * 1024);
+        assert_eq!(trace.bytes_written(), fill);
+        assert_eq!(trace.len(), 17);
+        let last = trace.requests().last().unwrap();
+        assert_eq!(last.size_bytes, 6 * 1024);
+        assert_eq!(last.lba * 512 + last.size_bytes as u64, fill);
+        // No request reaches past the requested region.
+        for r in trace.iter() {
+            assert!(r.lba * 512 + r.size_bytes as u64 <= fill);
+            assert!(r.size_bytes > 0);
+        }
+    }
+
+    /// Satellite: both preconditioning generators uphold the arrival-order
+    /// contract (strictly increasing for the fill, non-decreasing for the
+    /// overwrite burst) so they can feed a `WorkloadSource` directly.
+    #[test]
+    fn preconditioning_traces_uphold_arrival_order() {
+        let fill = sequential_fill(1 << 20, 16 * 1024);
+        let mut last = None;
+        for r in fill.iter() {
+            if let Some(prev) = last {
+                assert!(r.arrival_ns > prev, "fill arrivals strictly increase");
+            }
+            last = Some(r.arrival_ns);
+        }
+        let burst = random_overwrites(4 << 20, 16 * 1024, 500, 9);
+        let mut last = 0;
+        for r in burst.iter() {
+            assert!(r.arrival_ns >= last, "burst arrivals never regress");
+            last = r.arrival_ns;
+        }
+    }
+
+    /// Satellite: the overwrite burst is deterministic per seed and
+    /// different across seeds.
+    #[test]
+    fn random_overwrites_deterministic_per_seed() {
+        let a = random_overwrites(4 << 20, 16 * 1024, 800, 3);
+        let b = random_overwrites(4 << 20, 16 * 1024, 800, 3);
+        let c = random_overwrites(4 << 20, 16 * 1024, 800, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 }

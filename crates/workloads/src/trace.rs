@@ -399,6 +399,64 @@ bogus line
         let _ = source.next_request();
     }
 
+    /// Satellite: CRLF line endings must not surface as parse errors on the
+    /// `Iterator<Item = Result<…>>` path — whether the line splitter
+    /// already stripped the `\r` (as `str::lines`/`BufRead::lines` do) or
+    /// left it attached (a custom `from_lines` feed).
+    #[test]
+    fn crlf_lines_parse_cleanly_on_every_path() {
+        let crlf = "timestamp,host,disk,type,offset,size,rt\r\n\
+                    1000,hm,0,Read,0,4096,10\r\n\
+                    2000,hm,0,Write,4096,8192,20\r\n";
+        // from_str (str::lines strips \r).
+        let from_str: Vec<IoRequest> = MsrcSource::from_str(crlf)
+            .collect::<Result<_, _>>()
+            .expect("CRLF content must parse");
+        assert_eq!(from_str.len(), 2);
+        assert_eq!(from_str[1].op, IoOp::Write);
+        // from_reader (BufRead::lines strips \r\n).
+        let from_reader: Vec<IoRequest> = MsrcSource::from_reader(crlf.as_bytes())
+            .collect::<Result<_, _>>()
+            .expect("CRLF content must parse from a reader");
+        assert_eq!(from_reader, from_str);
+        // from_lines with the \r still attached to each line (a splitter
+        // that only cut on \n): the parser must trim it, not report a
+        // malformed size field.
+        let raw_lines = crlf
+            .split('\n')
+            .map(|l| Ok(l.to_string()))
+            .collect::<Vec<std::io::Result<String>>>();
+        let from_lines: Vec<IoRequest> = MsrcSource::from_lines(raw_lines.into_iter())
+            .collect::<Result<_, _>>()
+            .expect("lines with trailing \\r must parse");
+        assert_eq!(from_lines, from_str);
+        // The eager parser agrees.
+        let eager = parse_msrc(crlf).expect("eager parser tolerates CRLF");
+        assert_eq!(eager.requests(), from_str.as_slice());
+    }
+
+    /// Satellite: trailing blank lines (including whitespace-only and
+    /// bare-`\r` lines at EOF) are skipped, not reported as malformed —
+    /// and the `WorkloadSource` path ends cleanly instead of panicking.
+    #[test]
+    fn trailing_blank_lines_are_skipped_not_errors() {
+        use crate::source::WorkloadSource;
+        let content = "1000,hm,0,Read,0,4096,0\n2000,hm,0,Write,512,4096,0\n\n   \n\r\n";
+        let results: Vec<_> = MsrcSource::from_str(content).collect();
+        assert_eq!(results.len(), 2, "blank tails yield no items at all");
+        assert!(results.iter().all(Result::is_ok));
+        // Same through a reader, which sees the final empty lines too.
+        let from_reader: Vec<_> = MsrcSource::from_reader(content.as_bytes()).collect();
+        assert_eq!(from_reader.len(), 2);
+        assert!(from_reader.iter().all(Result::is_ok));
+        // The panicking WorkloadSource interface simply drains to None.
+        let mut source = MsrcSource::from_str(content);
+        assert!(source.next_request().is_some());
+        assert!(source.next_request().is_some());
+        assert!(source.next_request().is_none());
+        assert!(source.next_request().is_none(), "stays exhausted");
+    }
+
     #[test]
     fn roundtrip_through_msrc_format() {
         let original = SyntheticWorkload::default_test().generate(200, 5);

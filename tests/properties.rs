@@ -4,6 +4,7 @@
 use aero_core::ept::{Ept, EPT_RANGES};
 use aero_core::scheme::BlockId;
 use aero_core::sef::ShallowEraseFlags;
+use aero_core::SchemeKind;
 use aero_nand::chip_family::ChipFamily;
 use aero_nand::erase::characteristics::ispe_decomposition;
 use aero_nand::erase::failbits::FailBitModel;
@@ -12,8 +13,11 @@ use aero_nand::reliability::rber::{RberModel, RberSample};
 use aero_nand::reliability::retention::RetentionSpec;
 use aero_nand::timing::Micros;
 use aero_nand::wear::WearState;
+use aero_ssd::audit::Auditor;
 use aero_ssd::ftl::{DieFtl, PageMapping, Ppa};
 use aero_ssd::latency::LatencyRecorder;
+use aero_ssd::{Ssd, SsdConfig};
+use aero_workloads::{IterSource, SyntheticWorkload};
 use proptest::prelude::*;
 
 proptest! {
@@ -177,5 +181,63 @@ proptest! {
     fn micros_roundtrip(ms in 0.0f64..100.0) {
         let m = Micros::from_millis_f64(ms);
         prop_assert!((m.as_millis_f64() - ms).abs() < 1e-4);
+    }
+
+    /// After any session, the shadow-FTL oracle's generation map agrees
+    /// with the reads the real FTL serves: for every written LBA the
+    /// oracle knows, the real mapping points at the same physical page,
+    /// and that page (per the oracle) holds exactly that LBA's latest
+    /// write. The attached auditor must stay clean throughout, and the
+    /// quiesced drive must pass a full invariant audit.
+    #[test]
+    fn oracle_generation_map_agrees_with_served_reads(
+        seed in 0u64..1_000_000,
+        count in 40usize..180,
+        fill in 0.15f64..0.6,
+        read_ratio in 0.0f64..=1.0,
+    ) {
+        let scheme = SchemeKind::all()[(seed % 5) as usize];
+        let mut ssd = Ssd::new(SsdConfig::small_test(scheme).with_seed(seed));
+        ssd.fill_fraction(fill);
+        let mut auditor = Auditor::new().check_every(200).with_oracle(&ssd);
+        let workload = SyntheticWorkload {
+            read_ratio,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 60_000.0,
+            footprint_bytes: 8 << 20,
+            hot_access_fraction: 0.9,
+            hot_region_fraction: 0.3,
+        };
+        let report = ssd
+            .session(IterSource::new(workload.stream(seed).take(count)))
+            .with_auditor(&mut auditor)
+            .run_to_end();
+        prop_assert_eq!(
+            (report.reads_completed + report.writes_completed) as usize,
+            count
+        );
+        prop_assert!(auditor.is_clean(), "violations: {:?}", auditor.violations());
+        let oracle = auditor.oracle().expect("oracle was attached");
+        let mut checked = 0u64;
+        for (lpn, ppa, write_id) in oracle.written_lpns() {
+            prop_assert!(
+                ssd.mapping().lookup(lpn) == Some(ppa),
+                "lpn {} must be served from the oracle's location {:?}, real {:?}",
+                lpn,
+                ppa,
+                ssd.mapping().lookup(lpn)
+            );
+            prop_assert!(
+                oracle.page_content(ppa) == Some(lpn),
+                "the served page {:?} must hold lpn {}",
+                ppa,
+                lpn
+            );
+            prop_assert!(write_id <= oracle.writes_observed());
+            checked += 1;
+        }
+        prop_assert!(checked > 0, "the fill guarantees written LBAs");
+        let final_audit = ssd.audit();
+        prop_assert!(final_audit.is_clean(), "{}", final_audit);
     }
 }
