@@ -27,6 +27,11 @@ use crate::ept::Ept;
 use crate::felp::{Felp, FelpPrediction};
 use crate::scheme::{BlockContext, EraseAction, EraseScheme};
 use crate::sef::ShallowEraseFlags;
+use crate::wire;
+
+/// Leading tag byte of an AERO state blob (see
+/// [`EraseScheme::export_state`]).
+const AERO_STATE_TAG: u8 = 0xA0;
 
 /// What the scheme issued most recently within the current erase operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -319,6 +324,78 @@ impl EraseScheme for Aero {
     fn finish(&mut self, _ctx: &BlockContext, _history: &[EraseLoopOutcome], _complete: bool) {
         self.last_issue = LastIssue::None;
     }
+
+    /// AERO's mutable state: the SEF bitmap, the misprediction-injection
+    /// RNG position, and the three lifetime counters. Everything else
+    /// (EPT, FELP, pulse parameters) is configuration-derived and excluded.
+    /// `last_issue` is transient — it is `None` at every erase boundary,
+    /// which is the only place snapshots are taken.
+    fn export_state(&self) -> Vec<u8> {
+        let mut out = vec![AERO_STATE_TAG, self.aggressive as u8];
+        wire::put_u64(&mut out, self.sef.len() as u64);
+        for &word in self.sef.words() {
+            wire::put_u64(&mut out, word);
+        }
+        for &word in self.rng.dump_state().iter() {
+            wire::put_u32(&mut out, word);
+        }
+        wire::put_u64(&mut out, self.mispredictions);
+        wire::put_u64(&mut out, self.shallow_erases);
+        wire::put_u64(&mut out, self.skipped_final_loops);
+        out
+    }
+
+    fn import_state(&mut self, state: &[u8]) -> bool {
+        let mut r = wire::Reader::new(state);
+        if r.u8() != Some(AERO_STATE_TAG) || r.u8() != Some(self.aggressive as u8) {
+            return false;
+        }
+        let Some(sef_len) = r.u64() else { return false };
+        let Ok(sef_len) = usize::try_from(sef_len) else {
+            return false;
+        };
+        let word_count = sef_len.div_ceil(64);
+        // The declared bitmap must actually fit in the blob — this bounds
+        // the allocation before it happens.
+        if word_count > r.remaining() / 8 {
+            return false;
+        }
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            match r.u64() {
+                Some(w) => words.push(w),
+                None => return false,
+            }
+        }
+        let Some(sef) = ShallowEraseFlags::from_raw(words, sef_len) else {
+            return false;
+        };
+        let mut rng_words = [0u32; 33];
+        for word in rng_words.iter_mut() {
+            match r.u32() {
+                Some(v) => *word = v,
+                None => return false,
+            }
+        }
+        let Some(rng) = ChaCha12Rng::from_state(&rng_words) else {
+            return false;
+        };
+        let (mispredictions, shallow_erases, skipped_final_loops) =
+            match (r.u64(), r.u64(), r.u64()) {
+                (Some(m), Some(s), Some(k)) => (m, s, k),
+                _ => return false,
+            };
+        if !r.is_empty() {
+            return false;
+        }
+        self.sef = sef;
+        self.rng = rng;
+        self.mispredictions = mispredictions;
+        self.shallow_erases = shallow_erases;
+        self.skipped_final_loops = skipped_final_loops;
+        self.last_issue = LastIssue::None;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -532,5 +609,67 @@ mod tests {
         assert_eq!(Aero::conservative().name(), "AERO_CONS");
         assert!(Aero::aggressive().is_aggressive());
         assert!(!Aero::conservative().is_aggressive());
+    }
+
+    #[test]
+    fn state_round_trips_through_export_import() {
+        let mut aero = Aero::conservative().with_misprediction_rate(0.5);
+        // Mutate every piece of persisted state: grow + clear SEF bits,
+        // advance the RNG, bump the counters.
+        let ctx = BlockContext::new(BlockId(70), 2_500);
+        aero.begin(&ctx);
+        let _ = aero.next_action(&ctx, &[]);
+        let history = vec![outcome(40 * delta(), false, 1.0)];
+        let _ = aero.next_action(&ctx, &history);
+        aero.finish(&ctx, &history, true);
+        assert!(!aero.sef().is_enabled(BlockId(70)));
+        assert!(aero.shallow_erases() > 0);
+
+        let blob = aero.export_state();
+        let mut restored = Aero::conservative().with_misprediction_rate(0.5);
+        assert!(restored.import_state(&blob));
+        assert_eq!(restored.sef(), aero.sef());
+        assert_eq!(restored.shallow_erases(), aero.shallow_erases());
+        assert_eq!(restored.mispredictions(), aero.mispredictions());
+        assert_eq!(restored.skipped_final_loops(), aero.skipped_final_loops());
+        // The RNG resumed at the same position: both sides draw identical
+        // predictions from here on.
+        restored.begin(&ctx);
+        aero.begin(&ctx);
+        let probe = vec![outcome(2 * delta() - 100, false, 1.0)];
+        let _ = restored.next_action(&ctx, &[]);
+        let _ = aero.next_action(&ctx, &[]);
+        assert_eq!(
+            restored.next_action(&ctx, &probe),
+            aero.next_action(&ctx, &probe)
+        );
+    }
+
+    #[test]
+    fn corrupt_state_blobs_are_rejected() {
+        let aero = Aero::aggressive();
+        let blob = aero.export_state();
+        let mut target = Aero::aggressive();
+        // Truncations at every boundary.
+        for cut in 0..blob.len() {
+            assert!(
+                !target.import_state(&blob[..cut]),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage.
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(!target.import_state(&long));
+        // Wrong variant tag (conservative blob into an aggressive scheme).
+        let cons_blob = Aero::conservative().export_state();
+        assert!(!target.import_state(&cons_blob));
+        // An absurd SEF length cannot cause a huge allocation: the length
+        // is validated against the blob size first.
+        let mut huge = blob.clone();
+        huge[2..10].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(!target.import_state(&huge));
+        // The untouched blob still imports.
+        assert!(target.import_state(&blob));
     }
 }

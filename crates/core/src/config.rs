@@ -120,6 +120,12 @@ impl EraseScheme for Box<dyn EraseScheme> {
     fn shallow_flags(&self) -> Option<&crate::sef::ShallowEraseFlags> {
         (**self).shallow_flags()
     }
+    fn export_state(&self) -> Vec<u8> {
+        (**self).export_state()
+    }
+    fn import_state(&mut self, state: &[u8]) -> bool {
+        (**self).import_state(state)
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +172,30 @@ mod tests {
         let family = ChipFamily::mlc_3d_48l();
         let scheme = SchemeKind::Aero.build(&family);
         assert_eq!(scheme.name(), "AERO");
+    }
+
+    /// The boxed delegation must forward the persistence hooks, not fall
+    /// back to the stateless defaults: an AERO blob is non-empty and must
+    /// import into a freshly built scheme of the same kind.
+    #[test]
+    fn boxed_scheme_delegates_state_persistence() {
+        let family = ChipFamily::tlc_3d_48l();
+        for kind in SchemeKind::all() {
+            let source = kind.build(&family);
+            let blob = source.export_state();
+            let mut target = kind.build(&family);
+            assert!(
+                target.import_state(&blob),
+                "{kind}: own blob must import cleanly"
+            );
+            match kind {
+                SchemeKind::Aero | SchemeKind::AeroCons | SchemeKind::IIspe => {
+                    assert!(!blob.is_empty(), "{kind} is stateful");
+                }
+                SchemeKind::Baseline | SchemeKind::Dpes => {
+                    assert!(blob.is_empty(), "{kind} is stateless");
+                }
+            }
+        }
     }
 }

@@ -55,6 +55,13 @@ impl<S: EraseScheme> EraseController<S> {
         &self.stats
     }
 
+    /// Replaces the controller's lifetime statistics wholesale. Used by
+    /// snapshot restore: run-local reports are diffs against this lifetime
+    /// stream, so a restored drive must resume it bit for bit.
+    pub fn restore_stats(&mut self, stats: EraseStats) {
+        self.stats = stats;
+    }
+
     /// Erases `block` on `chip` under the controller's scheme.
     ///
     /// The scheme's program-latency and erase-voltage scaling for the block's

@@ -1,0 +1,102 @@
+//! Configuration fingerprinting for snapshot compatibility checks.
+//!
+//! A drive snapshot is only meaningful against the exact configuration it
+//! was taken under (geometry, scheme, seeds, timing knobs all shape the
+//! serialized state), so the persist layer stamps every snapshot with a
+//! 64-bit fingerprint of the configuration and refuses to restore under a
+//! different one. The hash is FNV-1a — tiny, dependency-free, and stable
+//! across platforms — which is exactly enough for a mismatch *check*; it
+//! is not a cryptographic commitment.
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fingerprint {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= byte as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a string, length-prefixed so adjacent fields cannot alias
+    /// (`"ab" + "c"` hashes differently from `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a `u64` in little-endian order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// The 64-bit digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut f = Fingerprint::new();
+    f.write_bytes(bytes);
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published FNV-1a test vectors.
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut f = Fingerprint::new();
+        f.write_bytes(b"foo");
+        f.write_bytes(b"bar");
+        assert_eq!(f.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn length_prefixing_prevents_aliasing() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(fnv1a_64(b"scheme=AERO"), fnv1a_64(b"scheme=DPES"));
+    }
+}

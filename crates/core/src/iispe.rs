@@ -15,6 +15,11 @@ use aero_nand::erase::ispe::EraseLoopOutcome;
 use aero_nand::timing::Micros;
 
 use crate::scheme::{BlockContext, BlockId, EraseAction, EraseScheme};
+use crate::wire;
+
+/// Leading tag byte of an i-ISPE state blob (see
+/// [`EraseScheme::export_state`]).
+const IISPE_STATE_TAG: u8 = 0x11;
 
 /// The i-ISPE erase scheme.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +89,60 @@ impl EraseScheme for IntelligentIspe {
             self.last_final_loop
                 .insert(ctx.block_id, final_index.max(1));
         }
+    }
+
+    /// i-ISPE's mutable state is the per-block final-loop record. Entries
+    /// are encoded sorted by block id so the blob is deterministic
+    /// regardless of hash-map iteration order. `start_index` is transient
+    /// (set by `begin`).
+    fn export_state(&self) -> Vec<u8> {
+        let mut entries: Vec<(usize, u32)> = self
+            .last_final_loop
+            .iter()
+            .map(|(&block, &index)| (block.0, index))
+            .collect();
+        entries.sort_unstable();
+        let mut out = vec![IISPE_STATE_TAG];
+        wire::put_u64(&mut out, entries.len() as u64);
+        for (block, index) in entries {
+            wire::put_u64(&mut out, block as u64);
+            wire::put_u32(&mut out, index);
+        }
+        out
+    }
+
+    fn import_state(&mut self, state: &[u8]) -> bool {
+        let mut r = wire::Reader::new(state);
+        if r.u8() != Some(IISPE_STATE_TAG) {
+            return false;
+        }
+        let Some(count) = r.u64() else { return false };
+        // Each entry is 12 bytes; a count the blob cannot hold is corrupt
+        // (checked before allocating).
+        if count > r.remaining() as u64 / 12 {
+            return false;
+        }
+        let mut map = HashMap::with_capacity(count as usize);
+        for _ in 0..count {
+            let (block, index) = match (r.u64(), r.u32()) {
+                (Some(b), Some(i)) => (b, i),
+                _ => return false,
+            };
+            let Ok(block) = usize::try_from(block) else {
+                return false;
+            };
+            // Recorded indices are always ≥ 1 (`finish` clamps them).
+            if index == 0 {
+                return false;
+            }
+            map.insert(BlockId(block), index);
+        }
+        if !r.is_empty() {
+            return false;
+        }
+        self.last_final_loop = map;
+        self.start_index = 1;
+        true
     }
 }
 
@@ -165,6 +224,33 @@ mod tests {
         s.begin(&ctx);
         s.finish(&ctx, &[outcome(false)], false);
         assert_eq!(s.recorded_start_index(BlockId(9)), 1);
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_corruption() {
+        let mut s = IntelligentIspe::paper_default();
+        for (block, loops) in [(3usize, 3usize), (9, 2), (1, 4)] {
+            let ctx = BlockContext::new(BlockId(block), 1_000);
+            s.begin(&ctx);
+            let mut history = vec![outcome(false); loops - 1];
+            history.push(outcome(true));
+            s.finish(&ctx, &history, true);
+        }
+        let blob = s.export_state();
+        // Deterministic regardless of hash-map order.
+        assert_eq!(blob, s.export_state());
+        let mut restored = IntelligentIspe::paper_default();
+        assert!(restored.import_state(&blob));
+        assert_eq!(restored, s);
+        for cut in 0..blob.len() {
+            assert!(!restored.import_state(&blob[..cut]), "truncation at {cut}");
+        }
+        let mut zero_index = blob.clone();
+        let last = zero_index.len() - 4;
+        zero_index[last..].copy_from_slice(&0u32.to_le_bytes());
+        assert!(!restored.import_state(&zero_index));
+        assert!(restored.import_state(&blob));
+        assert_eq!(restored, s);
     }
 
     #[test]

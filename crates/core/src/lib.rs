@@ -44,11 +44,13 @@ pub mod controller;
 pub mod dpes;
 pub mod ept;
 pub mod felp;
+pub mod fingerprint;
 pub mod iispe;
 pub mod lifetime;
 pub mod scheme;
 pub mod sef;
 pub mod stats;
+mod wire;
 
 pub use aero::Aero;
 pub use baseline::BaselineIspe;
@@ -57,6 +59,7 @@ pub use controller::{EraseController, EraseExecution};
 pub use dpes::Dpes;
 pub use ept::Ept;
 pub use felp::Felp;
+pub use fingerprint::Fingerprint;
 pub use iispe::IntelligentIspe;
 pub use scheme::{BlockContext, BlockId, EraseAction, EraseScheme};
 pub use sef::ShallowEraseFlags;

@@ -116,6 +116,26 @@ pub trait EraseScheme {
     fn shallow_flags(&self) -> Option<&crate::sef::ShallowEraseFlags> {
         None
     }
+
+    /// Serializes the scheme's mutable per-drive state (SEF bitmap, RNG
+    /// position, learned per-block metadata, counters) as an opaque byte
+    /// blob owned by the concrete scheme. Configuration-derived state is
+    /// *not* included — a restored scheme is rebuilt from the same
+    /// configuration first, then fed this blob. Stateless schemes return an
+    /// empty vector (the default).
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by
+    /// [`export_state`](EraseScheme::export_state) on a scheme of the same
+    /// kind and configuration. Returns `false` if the blob is malformed
+    /// (wrong kind, truncated, out-of-range values); the scheme may be left
+    /// partially updated in that case and must not be used further. The
+    /// default (stateless) implementation accepts only the empty blob.
+    fn import_state(&mut self, state: &[u8]) -> bool {
+        state.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +185,10 @@ mod tests {
         assert_eq!(s.next_action(&ctx, &[]), EraseAction::finish());
         assert_eq!(s.program_latency_scale(100), 1.0);
         assert_eq!(s.erase_voltage_scale(100), 1.0);
+        // Stateless default persistence: exports nothing, accepts only
+        // nothing.
+        assert!(s.export_state().is_empty());
+        assert!(s.import_state(&[]));
+        assert!(!s.import_state(&[1]));
     }
 }

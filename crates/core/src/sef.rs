@@ -107,6 +107,22 @@ impl ShallowEraseFlags {
     pub fn storage_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// The packed bitmap words, for exact serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from its packed words and tracked length, the
+    /// exact inverse of [`words`](ShallowEraseFlags::words) +
+    /// [`len`](ShallowEraseFlags::len). Returns `None` if the word count
+    /// does not match the length.
+    pub fn from_raw(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        Some(ShallowEraseFlags { words, len })
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +181,19 @@ mod tests {
         assert!(sef.is_empty());
         assert_eq!(sef.enabled_count(), 0);
         assert_eq!(sef.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn raw_round_trip_is_exact() {
+        let mut sef = ShallowEraseFlags::new(130);
+        sef.set(BlockId(5), false);
+        sef.set(BlockId(129), false);
+        let rebuilt =
+            ShallowEraseFlags::from_raw(sef.words().to_vec(), sef.len()).expect("matching length");
+        assert_eq!(rebuilt, sef);
+        // A word count that disagrees with the length is rejected
+        // (130 blocks pack into exactly 3 words).
+        assert!(ShallowEraseFlags::from_raw(vec![u64::MAX; 2], 130).is_none());
+        assert!(ShallowEraseFlags::from_raw(vec![u64::MAX; 4], 130).is_none());
     }
 }

@@ -1,0 +1,97 @@
+//! Minimal little-endian wire helpers for scheme-state serialization.
+//!
+//! The vendored `serde` is a no-op stand-in, so schemes hand-roll their
+//! [`export_state`](crate::scheme::EraseScheme::export_state) blobs with
+//! these helpers. Decoding is strictly bounds-checked and never panics:
+//! every read returns `None` past the end, and callers size allocations
+//! against [`Reader::remaining`] so corrupt length fields cannot trigger
+//! huge reservations.
+
+/// Appends a `u32` in little-endian order.
+pub(crate) fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub(crate) fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// A bounds-checked little-endian cursor over a byte slice.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.bytes.len() < n {
+            return None;
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Some(head)
+    }
+
+    /// Reads one byte.
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True once every byte has been consumed.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_exhaustion() {
+        let mut out = Vec::new();
+        out.push(0xA5);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.remaining(), 13);
+        assert_eq!(r.u8(), Some(0xA5));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert!(r.is_empty());
+        assert_eq!(r.u8(), None);
+        assert_eq!(r.u32(), None);
+        assert_eq!(r.u64(), None);
+    }
+
+    #[test]
+    fn short_reads_do_not_consume() {
+        let bytes = [1u8, 2, 3];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u32(), None);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.u8(), Some(1));
+    }
+}

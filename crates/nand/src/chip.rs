@@ -118,6 +118,26 @@ pub struct ProgramReport {
     pub latency: Micros,
 }
 
+/// The mutable per-block state of a [`Chip`], detached from the
+/// seed-derived process-variation characteristics. A snapshot layer captures
+/// one overlay per block and re-applies it to a freshly rebuilt chip (same
+/// family, same seed) to reconstruct the drive exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockOverlay {
+    /// Accumulated wear (P/E cycles and stress).
+    pub wear: WearState,
+    /// Erase state, including any residual dose from a partial erase.
+    pub erase_state: BlockEraseState,
+    /// Next page index expected by the in-order programming rule.
+    pub next_page: u32,
+    /// Number of pages programmed since the last erase.
+    pub programmed_pages: u32,
+    /// Data pattern of the most recent program burst.
+    pub pattern: DataPattern,
+    /// `N_ISPE` of the most recent erase operation, if any.
+    pub last_n_ispe: Option<u32>,
+}
+
 /// A NAND flash chip (one die) with loop-granular erase control.
 #[derive(Debug, Clone)]
 pub struct Chip {
@@ -585,6 +605,94 @@ impl Chip {
         state.wear = wear;
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot support
+    // ------------------------------------------------------------------
+
+    /// The block's mutable state as a detachable overlay, by flat block
+    /// index (see [`ChipGeometry::block_index`]). Returns `None` if the
+    /// index is out of range.
+    pub fn export_block_overlay(&self, block_index: usize) -> Option<BlockOverlay> {
+        let state = self.blocks.get(block_index)?;
+        Some(BlockOverlay {
+            wear: state.wear,
+            erase_state: state.erase_state,
+            next_page: state.next_page,
+            programmed_pages: state.programmed_pages,
+            pattern: state.pattern,
+            last_n_ispe: state.last_n_ispe,
+        })
+    }
+
+    /// Re-applies a previously exported overlay to the block at the given
+    /// flat index, leaving the block's sampled characteristics untouched.
+    /// Returns `false` (and changes nothing) if the index is out of range,
+    /// the page counters exceed the geometry, or the wear/erase numbers are
+    /// not finite non-negative values.
+    pub fn import_block_overlay(&mut self, block_index: usize, overlay: &BlockOverlay) -> bool {
+        let pages = self.geometry().pages_per_block;
+        let finite = |v: f64| v.is_finite() && v >= 0.0;
+        let residual_ok = match overlay.erase_state {
+            BlockEraseState::PartiallyErased { residual_units } => {
+                finite(residual_units) && residual_units > 0.0
+            }
+            BlockEraseState::Erased | BlockEraseState::Programmed => true,
+        };
+        let Some(state) = self.blocks.get_mut(block_index) else {
+            return false;
+        };
+        if overlay.next_page > pages
+            || overlay.programmed_pages > pages
+            || !finite(overlay.wear.erase_stress)
+            || !finite(overlay.wear.program_stress)
+            || !residual_ok
+        {
+            return false;
+        }
+        state.wear = overlay.wear;
+        state.erase_state = overlay.erase_state;
+        state.next_page = overlay.next_page;
+        state.programmed_pages = overlay.programmed_pages;
+        state.pattern = overlay.pattern;
+        state.last_n_ispe = overlay.last_n_ispe;
+        true
+    }
+
+    /// The chip noise RNG's full internal state (33 little-endian words),
+    /// for exact snapshotting mid-stream.
+    pub fn export_rng(&self) -> [u32; 33] {
+        self.rng.dump_state()
+    }
+
+    /// Restores the chip noise RNG from a previously exported state.
+    /// Returns `false` (and changes nothing) if the state is invalid.
+    pub fn import_rng(&mut self, words: &[u32; 33]) -> bool {
+        match ChaCha12Rng::from_state(words) {
+            Some(rng) => {
+                self.rng = rng;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The currently configured program-latency scale (DPES).
+    pub fn program_latency_scale(&self) -> f64 {
+        self.program_latency_scale
+    }
+
+    /// The currently configured erase-voltage scale (DPES).
+    pub fn erase_voltage_scale(&self) -> f64 {
+        self.erase_voltage_scale
+    }
+
+    /// Number of erase operations currently in flight. Snapshot layers use
+    /// this to refuse to serialize a chip mid-erase (in-flight engines carry
+    /// sampled state that is deliberately not externalized).
+    pub fn active_erase_count(&self) -> usize {
+        self.active_erases.len()
+    }
 }
 
 #[cfg(test)]
@@ -761,6 +869,100 @@ mod tests {
         let rn = normal.erase_block_default(BlockAddr::new(0, 7)).unwrap();
         let rs = scaled.erase_block_default(BlockAddr::new(0, 7)).unwrap();
         assert!(rs.stress < rn.stress);
+    }
+
+    #[test]
+    fn overlay_and_rng_restore_reproduce_the_chip_exactly() {
+        let mut original = chip();
+        // Accumulate varied state: cycling, partial erase, preconditioning.
+        let cycled = BlockAddr::new(0, 0);
+        for _ in 0..4 {
+            original.erase_block_default(cycled).unwrap();
+            original
+                .program_full_block(cycled, DataPattern::Randomized)
+                .unwrap();
+        }
+        let partial = BlockAddr::new(0, 1);
+        original.begin_erase(partial).unwrap();
+        original
+            .set_erase_pulse(partial, Micros::from_millis_f64(0.5))
+            .unwrap();
+        let o = original.run_erase_loop(partial).unwrap();
+        original.finish_erase(partial, vec![o]).unwrap();
+        original
+            .precondition_block(BlockAddr::new(1, 0), 2_000)
+            .unwrap();
+        original
+            .program_page(PageAddr::new(partial, 0), DataPattern::AllProgrammedState)
+            .unwrap();
+        assert_eq!(original.active_erase_count(), 0);
+
+        // Rebuild from config + overlays + RNG state.
+        let mut restored = chip();
+        let total = original.geometry().total_blocks() as usize;
+        for idx in 0..total {
+            let overlay = original.export_block_overlay(idx).unwrap();
+            assert!(restored.import_block_overlay(idx, &overlay));
+        }
+        assert!(restored.import_rng(&original.export_rng()));
+
+        // The restored chip is behaviorally identical: same wear, same RBER,
+        // same future erase outcomes (which consume the shared RNG stream).
+        let geometry = *original.geometry();
+        for plane in 0..geometry.planes {
+            for block in 0..geometry.blocks_per_plane {
+                let b = BlockAddr::new(plane, block);
+                assert_eq!(restored.wear(b).unwrap(), original.wear(b).unwrap());
+                assert_eq!(
+                    restored.erase_state(b).unwrap(),
+                    original.erase_state(b).unwrap()
+                );
+                assert_eq!(
+                    restored.last_n_ispe(b).unwrap(),
+                    original.last_n_ispe(b).unwrap()
+                );
+            }
+        }
+        assert_eq!(
+            restored
+                .m_rber(partial, RetentionSpec::one_year_30c())
+                .unwrap(),
+            original
+                .m_rber(partial, RetentionSpec::one_year_30c())
+                .unwrap()
+        );
+        let ra = restored.erase_block_default(cycled).unwrap();
+        let oa = original.erase_block_default(cycled).unwrap();
+        assert_eq!(ra, oa);
+    }
+
+    #[test]
+    fn overlay_import_rejects_invalid_state() {
+        let mut c = chip();
+        let good = c.export_block_overlay(0).unwrap();
+        assert!(c.export_block_overlay(10_000).is_none());
+        assert!(!c.import_block_overlay(10_000, &good));
+        let pages = c.geometry().pages_per_block;
+        let mut bad = good.clone();
+        bad.next_page = pages + 1;
+        assert!(!c.import_block_overlay(0, &bad));
+        let mut bad = good.clone();
+        bad.programmed_pages = pages + 1;
+        assert!(!c.import_block_overlay(0, &bad));
+        let mut bad = good.clone();
+        bad.wear.erase_stress = f64::NAN;
+        assert!(!c.import_block_overlay(0, &bad));
+        let mut bad = good.clone();
+        bad.erase_state = BlockEraseState::PartiallyErased {
+            residual_units: -1.0,
+        };
+        assert!(!c.import_block_overlay(0, &bad));
+        // The rejected imports left the block untouched.
+        assert_eq!(c.export_block_overlay(0).unwrap(), good);
+        // An out-of-range RNG index is rejected too.
+        let mut words = c.export_rng();
+        words[32] = 17;
+        assert!(!c.import_rng(&words));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod vth;
 pub mod wear;
 
 pub use cell::{CellTechnology, DataPattern};
-pub use chip::{Chip, ChipConfig, EraseReport};
+pub use chip::{BlockOverlay, Chip, ChipConfig, EraseReport};
 pub use chip_family::ChipFamily;
 pub use commands::{Command, CommandResponse, FeatureAddress, FeatureValue};
 pub use erase::characteristics::{BlockEraseState, EraseCharacteristics};

@@ -86,6 +86,13 @@ impl Micros {
         self.0 * 100
     }
 
+    /// Creates a duration from whole nanoseconds, truncating to the 0.1 µs
+    /// tick resolution. Exact inverse of [`as_nanos`](Micros::as_nanos) for
+    /// any value that function can produce.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Micros(ns / 100)
+    }
+
     /// Saturating subtraction.
     pub fn saturating_sub(self, other: Micros) -> Micros {
         Micros(self.0.saturating_sub(other.0))
@@ -262,6 +269,9 @@ mod tests {
         assert_eq!(m.as_millis_f64(), 3.5);
         assert_eq!(m.as_micros_f64(), 3500.0);
         assert_eq!(m.as_nanos(), 3_500_000);
+        assert_eq!(Micros::from_nanos(m.as_nanos()), m);
+        // Sub-tick nanosecond counts truncate toward zero.
+        assert_eq!(Micros::from_nanos(199), Micros::from_nanos(100));
     }
 
     #[test]

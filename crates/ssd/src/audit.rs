@@ -109,6 +109,10 @@ pub enum Invariant {
     /// A derived report metric that must be finite/zero came out NaN or
     /// infinite (used by the scenario driver's report sanity checks).
     ReportSanity,
+    /// A snapshot round-trip broke its contract: a torn or corrupted
+    /// snapshot restored without error, or a pristine snapshot failed to
+    /// restore (used by the scenario driver's crash/restore phase).
+    Persistence,
 }
 
 impl fmt::Display for Invariant {
@@ -128,6 +132,7 @@ impl fmt::Display for Invariant {
             Invariant::OracleDataLoss => "oracle-data-loss",
             Invariant::OracleWear => "oracle-wear",
             Invariant::ReportSanity => "report-sanity",
+            Invariant::Persistence => "persistence",
         };
         f.write_str(name)
     }

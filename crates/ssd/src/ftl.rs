@@ -104,6 +104,55 @@ impl BlockInfo {
         self.valid.iter_mut().for_each(|w| *w = 0);
         self.valid_pages = 0;
     }
+
+    /// The packed validity-bitmap words, for exact serialization.
+    pub fn valid_words(&self) -> &[u64] {
+        &self.valid
+    }
+
+    /// Rebuilds block bookkeeping from its serialized parts. Returns `None`
+    /// if the parts are internally inconsistent: wrong word count for
+    /// `pages`, a written-page count beyond the block, a valid bit at or
+    /// beyond the written region, or a `valid_pages` count that disagrees
+    /// with the bitmap's popcount.
+    pub fn from_parts(
+        state: BlockState,
+        written_pages: u32,
+        valid: Vec<u64>,
+        valid_pages: u32,
+        pages: u32,
+    ) -> Option<Self> {
+        if valid.len() != (pages as usize).div_ceil(64) || written_pages > pages {
+            return None;
+        }
+        let mut popcount = 0u32;
+        for (w, &word) in valid.iter().enumerate() {
+            popcount = popcount.checked_add(word.count_ones())?;
+            // No valid bit may sit at or beyond the written region.
+            let first_unwritten = written_pages as usize;
+            let word_base = w * 64;
+            if word_base + 64 > first_unwritten {
+                let keep = first_unwritten.saturating_sub(word_base);
+                let mask = if keep == 0 {
+                    0
+                } else {
+                    u64::MAX >> (64 - keep)
+                };
+                if word & !mask != 0 {
+                    return None;
+                }
+            }
+        }
+        if popcount != valid_pages {
+            return None;
+        }
+        Some(BlockInfo {
+            state,
+            written_pages,
+            valid,
+            valid_pages,
+        })
+    }
 }
 
 /// FTL state of one die: block bookkeeping, free list, and the open frontier.
@@ -231,6 +280,46 @@ impl DieFtl {
     pub fn valid_pages(&self) -> u64 {
         self.blocks.iter().map(|b| b.valid_pages as u64).sum()
     }
+
+    /// Rebuilds a die's FTL state from serialized parts, preserving the
+    /// exact free-list order (pop order matters for determinism). Returns
+    /// `None` on structural inconsistency: a free-list or frontier index out
+    /// of range, duplicate free-list entries, a free-list entry whose block
+    /// is not `Free`, a `Free` block missing from the list, or a frontier
+    /// whose block is not `Open`. Deeper cross-structure invariants are the
+    /// auditor's job.
+    pub fn from_parts(
+        blocks: Vec<BlockInfo>,
+        free_blocks: Vec<u32>,
+        frontier: Option<u32>,
+        pages_per_block: u32,
+    ) -> Option<Self> {
+        let count = blocks.len();
+        let mut on_free_list = vec![false; count];
+        for &b in &free_blocks {
+            let slot = on_free_list.get_mut(b as usize)?;
+            if *slot || blocks[b as usize].state != BlockState::Free {
+                return None;
+            }
+            *slot = true;
+        }
+        for (i, info) in blocks.iter().enumerate() {
+            if (info.state == BlockState::Free) != on_free_list[i] {
+                return None;
+            }
+        }
+        if let Some(f) = frontier {
+            if blocks.get(f as usize)?.state != BlockState::Open {
+                return None;
+            }
+        }
+        Some(DieFtl {
+            blocks,
+            free_blocks,
+            frontier,
+            pages_per_block,
+        })
+    }
 }
 
 /// Drive-wide logical-to-physical page mapping.
@@ -299,6 +388,16 @@ impl PageMapping {
     /// Number of out-of-range logical pages currently mapped.
     pub fn orphan_count(&self) -> usize {
         self.orphans.len()
+    }
+
+    /// Rebuilds a mapping from its serialized parts. Returns `None` if any
+    /// orphan key falls inside the flat table's range (it would shadow the
+    /// table entry and corrupt lookups).
+    pub fn from_parts(table: Vec<Option<Ppa>>, orphans: BTreeMap<u64, Ppa>) -> Option<Self> {
+        if orphans.keys().any(|&lpn| (lpn as usize) < table.len()) {
+            return None;
+        }
+        Some(PageMapping { table, orphans })
     }
 
     /// Fraction of the advertised logical space currently mapped (orphans
@@ -413,6 +512,87 @@ mod tests {
         assert_eq!(map.orphan_entries().collect::<Vec<_>>(), vec![(100, ppa2)]);
         // Orphans do not count toward the advertised space's utilization.
         assert!((map.mapped_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_info_from_parts_round_trips_and_validates() {
+        let mut b = BlockInfo::new(128);
+        for p in 0..10 {
+            b.mark_valid(p);
+        }
+        b.written_pages = 10;
+        b.state = BlockState::Full;
+        b.mark_invalid(3);
+        let rebuilt = BlockInfo::from_parts(
+            b.state,
+            b.written_pages,
+            b.valid_words().to_vec(),
+            b.valid_pages,
+            128,
+        )
+        .expect("consistent parts");
+        assert_eq!(rebuilt, b);
+        // Wrong word count.
+        assert!(BlockInfo::from_parts(b.state, 10, vec![0; 1], 9, 128).is_none());
+        // Popcount mismatch.
+        assert!(BlockInfo::from_parts(b.state, 10, b.valid_words().to_vec(), 8, 128).is_none());
+        // Valid bit beyond the written region.
+        let mut words = b.valid_words().to_vec();
+        words[0] |= 1 << 20;
+        assert!(BlockInfo::from_parts(b.state, 10, words, 10, 128).is_none());
+        // Written count beyond the block.
+        assert!(BlockInfo::from_parts(b.state, 129, b.valid_words().to_vec(), 9, 128).is_none());
+    }
+
+    #[test]
+    fn die_ftl_from_parts_preserves_free_list_order() {
+        let mut die = DieFtl::new(4, 4);
+        for _ in 0..5 {
+            die.allocate_page().unwrap();
+        }
+        let blocks: Vec<BlockInfo> = (0..die.block_count())
+            .map(|b| die.block(b).clone())
+            .collect();
+        let rebuilt = DieFtl::from_parts(
+            blocks.clone(),
+            die.free_block_ids().to_vec(),
+            die.frontier(),
+            die.pages_per_block(),
+        )
+        .expect("consistent parts");
+        assert_eq!(rebuilt, die);
+        // Out-of-range free entry.
+        assert!(DieFtl::from_parts(blocks.clone(), vec![9], None, 4).is_none());
+        // Duplicate free entry.
+        let free = die.free_block_ids().to_vec();
+        let mut dup = free.clone();
+        dup.push(free[0]);
+        assert!(DieFtl::from_parts(blocks.clone(), dup, die.frontier(), 4).is_none());
+        // A Free block missing from the list.
+        assert!(DieFtl::from_parts(blocks.clone(), vec![], die.frontier(), 4).is_none());
+        // Frontier pointing at a non-Open block.
+        assert!(
+            DieFtl::from_parts(blocks.clone(), free.clone(), free.first().copied(), 4).is_none()
+        );
+    }
+
+    #[test]
+    fn page_mapping_from_parts_rejects_shadowing_orphans() {
+        let ppa = Ppa {
+            die: 0,
+            block: 1,
+            page: 2,
+        };
+        let mut map = PageMapping::new(10);
+        map.update(3, ppa);
+        map.update(100, ppa);
+        let table: Vec<Option<Ppa>> = (0..10).map(|lpn| map.lookup(lpn)).collect();
+        let orphans: BTreeMap<u64, Ppa> = map.orphan_entries().collect();
+        let rebuilt = PageMapping::from_parts(table.clone(), orphans).expect("consistent");
+        assert_eq!(rebuilt, map);
+        // An orphan key inside the table range is rejected.
+        let shadowing: BTreeMap<u64, Ppa> = [(5u64, ppa)].into_iter().collect();
+        assert!(PageMapping::from_parts(table, shadowing).is_none());
     }
 
     /// A fully valid block is never a GC victim: collecting it reclaims

@@ -71,6 +71,19 @@
 //! ([`Simulation::attach_auditor`]). The [`scenario`] module executes
 //! deterministic fuzz scenarios (from [`aero_workloads::fuzz`]) under the
 //! auditor and shrinks failures to minimal request prefixes.
+//!
+//! # Snapshots and crash recovery
+//!
+//! The [`persist`] module serializes the full drive state — mapping, FTL
+//! bookkeeping, per-block NAND wear and erase state, RNG streams, erase
+//! statistics, scheme-private state — into a versioned, checksummed binary
+//! snapshot ([`Ssd::save_snapshot`] / [`Ssd::restore_snapshot`]). A run
+//! split across a save/restore continues byte-identically, and torn or
+//! corrupted snapshots are rejected with a typed [`PersistError`] (the
+//! restore path re-audits the decoded drive before returning it).
+//! [`Simulation::crash_at`] models the power cut itself: it tears down a
+//! running session mid-workload, dropping queued requests the way a real
+//! power loss drops the in-flight queue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -79,6 +92,7 @@ pub mod audit;
 pub mod config;
 pub mod ftl;
 pub mod latency;
+pub mod persist;
 pub mod report;
 pub mod scenario;
 pub mod session;
@@ -87,6 +101,9 @@ pub mod ssd;
 pub use audit::{AuditReport, Auditor, Invariant, ShadowFtl, Violation};
 pub use config::SsdConfig;
 pub use latency::LatencyRecorder;
+pub use persist::{
+    apply_torn_write, PersistError, TornWrite, CHECKSUM_BYTES, FORMAT_VERSION, HEADER_BYTES, MAGIC,
+};
 pub use report::{ChannelStats, RunReport};
 pub use session::{SimObserver, Simulation};
 pub use ssd::Ssd;

@@ -6,7 +6,13 @@
 //! with an attached [`crate::Auditor`] — checkpointing the full invariant
 //! set on the scenario's cadence, replaying mid-run snapshot windows when
 //! the plan asks for them, and sanity-checking every derived report metric
-//! for NaN/infinity. The run stops at the **first** violation, and
+//! for NaN/infinity. Scenarios that carry a
+//! [`aero_workloads::fuzz::CrashPlan`] additionally exercise the
+//! crash-recovery path: one session is cut short by a power loss
+//! ([`crate::Simulation::crash_at`]), the drive is snapshotted, a torn copy
+//! of the snapshot must be rejected with a typed error, and the run then
+//! continues on a drive restored from the pristine copy — which must still
+//! agree with the shadow oracle. The run stops at the **first** violation, and
 //! [`shrink_to_minimal_prefix`] then binary-searches the smallest request
 //! prefix of the same scenario that still fails, so a CI failure arrives
 //! pre-minimized:
@@ -22,11 +28,12 @@
 
 use std::fmt;
 
-use aero_workloads::fuzz::FuzzScenario;
+use aero_workloads::fuzz::{CrashPlan, FuzzScenario};
 use aero_workloads::IterSource;
 
 use crate::audit::{Auditor, CorruptionKind, Invariant, Violation, MAX_VIOLATIONS};
 use crate::config::SsdConfig;
+use crate::persist::{apply_torn_write, TornWrite};
 use crate::report::RunReport;
 use crate::ssd::Ssd;
 
@@ -45,6 +52,9 @@ pub struct ScenarioOutcome {
     pub gc_invocations: u64,
     /// Erase operations across the whole scenario.
     pub erases: u64,
+    /// Whether the scenario's power-loss crash/snapshot/restore phase ran
+    /// (see [`aero_workloads::fuzz::CrashPlan`]).
+    pub crashed: bool,
 }
 
 /// A scenario run that violated an invariant or diverged from the oracle.
@@ -129,8 +139,9 @@ pub fn run_scenario_with(
     let mut issued = 0u64;
     let mut completed_before = 0u64;
     let mut sessions_run = 0usize;
+    let mut crashed = false;
 
-    for plan in &scenario.sessions {
+    for (session_index, plan) in scenario.sessions.iter().enumerate() {
         if budget == 0 {
             break;
         }
@@ -138,6 +149,10 @@ pub fn run_scenario_with(
         budget -= take;
         issued += take;
         sessions_run += 1;
+        let crash_plan = scenario
+            .crash
+            .as_ref()
+            .filter(|c| c.session == session_index);
 
         let mut sanity = Vec::new();
         let session_completed;
@@ -145,31 +160,51 @@ pub fn run_scenario_with(
             let source = IterSource::new(plan.stream().take(take as usize));
             let mut sim = ssd.session(source);
             sim.attach_auditor(&mut auditor);
-            loop {
-                if let Some((after, kind)) = corruption {
-                    if completed_before + sim.completed_requests() >= after {
-                        sim.debug_corrupt(kind);
-                        corruption = None;
-                    }
-                }
-                if sim.audit_failed() {
-                    break;
-                }
-                match plan.snapshot_every_ns {
-                    Some(window) => {
-                        if sim.is_finished() {
-                            break;
-                        }
-                        let target = sim.now().saturating_add(window);
-                        sim.run_until(target);
-                        check_report_sanity(&sim.snapshot(), "mid-run snapshot", &mut sanity);
-                        if !sanity.is_empty() {
-                            break;
+            if let Some(crash) = crash_plan {
+                // Power-loss phase: run a bounded number of events under the
+                // auditor, then cut power. The snapshot/restore cycle runs
+                // below, once the session borrow ends.
+                let mut processed = 0u64;
+                while processed < crash.events {
+                    if let Some((after, kind)) = corruption {
+                        if completed_before + sim.completed_requests() >= after {
+                            sim.debug_corrupt(kind);
+                            corruption = None;
                         }
                     }
-                    None => {
-                        if !sim.step() {
-                            break;
+                    if sim.audit_failed() || !sim.step() {
+                        break;
+                    }
+                    processed += 1;
+                }
+                sim.power_cut();
+            } else {
+                loop {
+                    if let Some((after, kind)) = corruption {
+                        if completed_before + sim.completed_requests() >= after {
+                            sim.debug_corrupt(kind);
+                            corruption = None;
+                        }
+                    }
+                    if sim.audit_failed() {
+                        break;
+                    }
+                    match plan.snapshot_every_ns {
+                        Some(window) => {
+                            if sim.is_finished() {
+                                break;
+                            }
+                            let target = sim.now().saturating_add(window);
+                            sim.run_until(target);
+                            check_report_sanity(&sim.snapshot(), "mid-run snapshot", &mut sanity);
+                            if !sanity.is_empty() {
+                                break;
+                            }
+                        }
+                        None => {
+                            if !sim.step() {
+                                break;
+                            }
                         }
                     }
                 }
@@ -192,7 +227,22 @@ pub fn run_scenario_with(
         if !auditor.is_clean() {
             return Err(failure(scenario, issued, &auditor));
         }
-        if session_completed != take {
+        if let Some(crash) = crash_plan {
+            // Snapshot the powered-down drive, prove a torn copy is
+            // rejected, then restore the pristine copy and continue the
+            // remaining sessions on the restored drive.
+            crashed = true;
+            let mut persist_violations = Vec::new();
+            run_crash_recovery(&mut ssd, crash, &mut persist_violations);
+            absorb(&mut auditor, persist_violations);
+            // The restored drive must agree with the shadow oracle: queued
+            // requests dropped by the cut never dispatched, so the oracle
+            // never saw them either.
+            auditor.checkpoint(&ssd);
+            if !auditor.is_clean() {
+                return Err(failure(scenario, issued, &auditor));
+            }
+        } else if session_completed != take {
             let violation = Violation::new(
                 Invariant::InFlight,
                 format!("session {sessions_run}: {session_completed} of {take} requests completed"),
@@ -213,7 +263,41 @@ pub fn run_scenario_with(
         sessions_run,
         gc_invocations: ssd.gc_invocations,
         erases: ssd.erase_stats().operations,
+        crashed,
     })
+}
+
+/// The crash plan's snapshot/torn-write/restore cycle, run on the
+/// powered-down drive. Any broken persistence contract — a torn copy that
+/// restores, a pristine copy that doesn't — is reported as an
+/// [`Invariant::Persistence`] violation. On success `ssd` is replaced by
+/// the freshly restored drive, exactly as a power-on would rebuild it.
+fn run_crash_recovery(ssd: &mut Ssd, crash: &CrashPlan, out: &mut Vec<Violation>) {
+    let bytes = ssd.snapshot_bytes();
+    let mut torn = bytes.clone();
+    let at = (torn.len() as f64 * crash.tear_point) as usize;
+    let fault = if crash.truncate {
+        TornWrite::Truncate(at)
+    } else {
+        TornWrite::FlipBit(at * 8 + 3)
+    };
+    apply_torn_write(&mut torn, fault);
+    if Ssd::restore_snapshot_bytes(&torn, ssd.config()).is_ok() {
+        out.push(Violation::new(
+            Invariant::Persistence,
+            format!(
+                "torn snapshot ({fault:?}, {} bytes) restored without error",
+                torn.len()
+            ),
+        ));
+    }
+    match Ssd::restore_snapshot_bytes(&bytes, ssd.config()) {
+        Ok(restored) => *ssd = restored,
+        Err(e) => out.push(Violation::new(
+            Invariant::Persistence,
+            format!("pristine snapshot failed to restore: {e}"),
+        )),
+    }
 }
 
 /// A failure minimized by [`shrink_to_minimal_prefix`].
@@ -400,5 +484,25 @@ mod tests {
     fn shrink_returns_none_for_a_clean_scenario() {
         let sc = scenario(5);
         assert!(shrink_to_minimal_prefix(&sc, ScenarioOptions::default()).is_none());
+    }
+
+    /// Crash-plan scenarios run the full power-cut → snapshot → torn-copy
+    /// rejection → restore cycle and still audit clean, in both torn-write
+    /// flavors (seed 1 flips a bit, seed 2 truncates).
+    #[test]
+    fn crash_scenarios_recover_and_audit_clean() {
+        for seed in [1u64, 2] {
+            let sc = scenario(seed);
+            let crash = sc.crash.as_ref().expect("seeds 1 and 2 draw crash plans");
+            assert!(crash.session < sc.sessions.len());
+            let outcome = run_scenario(&sc).unwrap_or_else(|f| panic!("{f}"));
+            assert!(outcome.crashed, "seed {seed} must exercise the crash phase");
+            // The cut drops queued requests, so strictly fewer complete.
+            assert!(outcome.requests_completed < sc.total_requests());
+        }
+        let plain = scenario(3);
+        assert!(plain.crash.is_none(), "seed 3 is the no-crash control");
+        let outcome = run_scenario(&plain).unwrap_or_else(|f| panic!("{f}"));
+        assert!(!outcome.crashed);
     }
 }

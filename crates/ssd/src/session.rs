@@ -590,6 +590,55 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         report
     }
 
+    /// Models a sudden power loss: processes at most `events` further
+    /// events, then tears the session down, dropping every queued user
+    /// transaction the way a power cut drops the host queue. Returns the
+    /// number of events actually processed (fewer than `events` when the
+    /// run finished first). No report is produced — the run never
+    /// completed.
+    ///
+    /// Dropped transactions have had no FTL effect yet — pages mutate drive
+    /// state only at dispatch — so the drive is left internally consistent
+    /// ([`Ssd::audit`] passes) and ready to be snapshotted with
+    /// [`Ssd::save_snapshot`](crate::persist). SSD-internal work that was
+    /// already decided (queued GC migrations, an unfinished erase job)
+    /// survives the cut, like the journaled state a real FTL replays after
+    /// power-on; the next session opened on the drive re-arms those dies
+    /// and finishes it.
+    pub fn crash_at(mut self, events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < events && self.step() {
+            processed += 1;
+        }
+        self.power_cut();
+        processed
+    }
+
+    /// Drops every incomplete host request — the in-flight slab entries and
+    /// their queued page transactions on every die; internal work (GC
+    /// migrations, the erase job) stays. `pub(crate)` so the scenario
+    /// driver can cut power mid-loop while keeping its request accounting.
+    pub(crate) fn power_cut(&mut self) {
+        for entry in self.in_flight.iter_mut() {
+            *entry = None;
+        }
+        self.in_flight_live = 0;
+        for die in &mut self.ssd.dies {
+            die.user_reads.clear();
+            die.user_writes.clear();
+            // The deferral stamp describes the dropped queue head.
+            die.write_deferred_at = None;
+        }
+    }
+
+    /// Read-only view of the drive mid-session, so in-crate white-box tests
+    /// can watch for a specific internal state (a pending erase job, queued
+    /// GC moves) before cutting power.
+    #[cfg(test)]
+    pub(crate) fn drive(&self) -> &Ssd {
+        self.ssd
+    }
+
     /// Measures an interim run-local [`RunReport`] covering everything the
     /// session has processed so far. Latency recorders are cloned;
     /// erase statistics are diffed against the session-start baseline via
@@ -1073,6 +1122,32 @@ mod tests {
             remaining_pages: 1,
             completed_at: 0,
         }
+    }
+
+    /// A mid-run power cut leaves no queued user transactions behind and an
+    /// internally consistent drive; crashing past the end just finishes.
+    #[test]
+    fn crash_at_drops_user_queues_and_preserves_consistency() {
+        let trace = SyntheticWorkload::default_test().generate(400, 11);
+        let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Aero));
+        ssd.fill_fraction(0.6);
+        let processed = ssd.session(TraceSource::new(&trace)).crash_at(150);
+        assert_eq!(processed, 150, "the run has far more than 150 events");
+        for die in &ssd.dies {
+            assert!(die.user_reads.is_empty() && die.user_writes.is_empty());
+            assert!(die.write_deferred_at.is_none());
+        }
+        assert!(ssd.audit().is_clean(), "{:?}", ssd.audit().violations);
+        // The drive stays usable: a fresh session finishes the workload.
+        let report = ssd.run_trace(&trace);
+        assert_eq!(report.reads_completed + report.writes_completed, 400);
+        // Crashing after the source drains processes every event and stops.
+        let mut quiet = Ssd::new(SsdConfig::small_test(SchemeKind::Aero));
+        quiet.fill_fraction(0.2);
+        let short = SyntheticWorkload::default_test().generate(5, 3);
+        let processed = quiet.session(TraceSource::new(&short)).crash_at(u64::MAX);
+        assert!(processed >= 5, "at least one event per request");
+        assert!(quiet.audit().is_clean());
     }
 
     /// `erase_suspensions` counts pause transitions: a burst of reads

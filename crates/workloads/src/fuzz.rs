@@ -92,6 +92,28 @@ impl SessionPlan {
     }
 }
 
+/// A power-loss fault the driver injects into one session: run the session
+/// for a bounded number of events, cut power, snapshot the drive, verify a
+/// torn copy of the snapshot is rejected, restore the good copy, and
+/// continue the remaining sessions on the restored drive.
+///
+/// Like the rest of the scenario this is a pure *description*; the
+/// execution (crash, snapshot, torn-write corruption, restore, audit)
+/// lives in `aero_ssd::scenario`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// Index of the session the power cut interrupts.
+    pub session: usize,
+    /// Number of simulation events to process before cutting power.
+    pub events: u64,
+    /// Where to damage the torn snapshot copy, as a fraction of its length
+    /// (0.0 = first byte, 1.0 = last).
+    pub tear_point: f64,
+    /// `true`: truncate the copy at the tear point (lost tail);
+    /// `false`: flip one bit there (damaged sector).
+    pub truncate: bool,
+}
+
 /// A complete seeded fuzz scenario: drive knobs plus back-to-back session
 /// plans. Produced by [`scenario`]; executed by `aero_ssd::scenario`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -116,6 +138,9 @@ pub struct FuzzScenario {
     pub audit_every_events: u64,
     /// The sessions, run back-to-back on one drive.
     pub sessions: Vec<SessionPlan>,
+    /// When `Some`, one session is interrupted by a power cut followed by a
+    /// snapshot/torn-write/restore cycle.
+    pub crash: Option<CrashPlan>,
 }
 
 impl FuzzScenario {
@@ -171,6 +196,20 @@ pub fn scenario(seed: u64) -> FuzzScenario {
     }
     debug_assert!(!sessions.is_empty(), "the budget guarantees one session");
 
+    // Drawn strictly after every other draw, so scenarios generated by
+    // earlier versions of this function are unchanged for the same seed —
+    // the regression seed list keeps meaning what it meant.
+    let crash = if rng.gen::<f64>() < 0.35 {
+        Some(CrashPlan {
+            session: rng.gen_range(0..sessions.len()),
+            events: rng.gen_range(20..400),
+            tear_point: rng.gen_range(0.0..1.0),
+            truncate: rng.gen::<bool>(),
+        })
+    } else {
+        None
+    };
+
     FuzzScenario {
         seed,
         scheme,
@@ -181,6 +220,7 @@ pub fn scenario(seed: u64) -> FuzzScenario {
         fill_fraction,
         audit_every_events,
         sessions,
+        crash,
     }
 }
 
@@ -285,7 +325,31 @@ mod tests {
                     phase.workload.validate();
                 }
             }
+            if let Some(crash) = &sc.crash {
+                assert!(crash.session < sc.sessions.len(), "seed {seed}");
+                assert!(crash.events > 0, "seed {seed}");
+                assert!((0.0..1.0).contains(&crash.tear_point), "seed {seed}");
+            }
         }
+    }
+
+    /// The crash phase must actually occur across the seed space, in both
+    /// torn-write flavors, without dominating it.
+    #[test]
+    fn crash_plans_cover_both_torn_write_flavors() {
+        let crashes: Vec<CrashPlan> = (0..64u64).filter_map(|s| scenario(s).crash).collect();
+        assert!(
+            crashes.len() >= 10,
+            "crash draws too rare: {}",
+            crashes.len()
+        );
+        assert!(
+            crashes.len() <= 40,
+            "crash draws too common: {}",
+            crashes.len()
+        );
+        assert!(crashes.iter().any(|c| c.truncate));
+        assert!(crashes.iter().any(|c| !c.truncate));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod synth;
 pub mod trace;
 
 pub use catalog::{WorkloadId, WorkloadSpec};
-pub use fuzz::{FuzzScenario, PhasePlan, SessionPlan};
+pub use fuzz::{CrashPlan, FuzzScenario, PhasePlan, SessionPlan};
 pub use request::{IoOp, IoRequest, Trace};
 pub use source::{IterSource, TraceSource, WorkloadSource};
 pub use synth::{SyntheticStream, SyntheticWorkload};

@@ -1,10 +1,14 @@
 //! Lifetime: cycle a set of blocks with each erase scheme and watch the
-//! maximum RBER grow (a miniature Figure 13).
+//! maximum RBER grow (a miniature Figure 13), then demonstrate that the
+//! drive-level aging a long campaign accumulates survives process exit by
+//! checkpointing a simulated SSD to disk mid-workload and resuming it.
 //!
 //! Run with: `cargo run --release --example lifetime_study`
 
 use aero_characterize::lifetime_study::{run, LifetimeStudyConfig};
 use aero_core::SchemeKind;
+use aero_ssd::{Ssd, SsdConfig};
+use aero_workloads::{SyntheticWorkload, Trace};
 
 fn main() {
     let config = LifetimeStudyConfig {
@@ -52,4 +56,52 @@ fn main() {
             }
         );
     }
+
+    checkpoint_resume_demo();
+}
+
+/// Checkpoint/resume: a lifetime campaign at drive level can stop at any
+/// point, persist the full FTL + wear state with [`Ssd::save_snapshot`],
+/// and pick up in a later process with [`Ssd::restore_snapshot`] — the
+/// resumed run is byte-identical to never having stopped.
+fn checkpoint_resume_demo() {
+    println!("\nCheckpoint/resume (drive-level snapshots):");
+    let config = SsdConfig::small_test(SchemeKind::Aero).with_seed(42);
+    let trace = SyntheticWorkload::default_test().generate(600, 42);
+    let (head, tail) = trace.requests().split_at(300);
+    let (head, tail) = (Trace::new(head.to_vec()), Trace::new(tail.to_vec()));
+
+    // The uninterrupted control run.
+    let mut control = Ssd::new(config.clone());
+    control.precondition_wear(2_000);
+    control.fill_fraction(0.5);
+    control.run_trace(&head);
+    control.run_trace(&tail);
+
+    // The checkpointed run: first half, save to disk, "exit".
+    let mut drive = Ssd::new(config.clone());
+    drive.precondition_wear(2_000);
+    drive.fill_fraction(0.5);
+    drive.run_trace(&head);
+    let path = std::env::temp_dir().join("aero_lifetime_checkpoint.bin");
+    let mut file = std::fs::File::create(&path).expect("create checkpoint");
+    drive.save_snapshot(&mut file).expect("save checkpoint");
+    drop((drive, file));
+
+    // A "new process": restore and finish the campaign.
+    let mut file = std::fs::File::open(&path).expect("open checkpoint");
+    let mut resumed = Ssd::restore_snapshot(&mut file, &config).expect("restore checkpoint");
+    resumed.run_trace(&tail);
+
+    let identical = resumed.snapshot_bytes() == control.snapshot_bytes();
+    println!(
+        "  checkpoint: {} bytes at {}",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        path.display()
+    );
+    println!(
+        "  resumed run matches the uninterrupted run byte-for-byte: {identical}{}",
+        if identical { "" } else { "  <-- BUG" }
+    );
+    let _ = std::fs::remove_file(&path);
 }

@@ -86,6 +86,16 @@ fn fuzz_scenarios_audit_clean_across_schemes_layouts_and_suspension() {
     assert_eq!(suspensions.len(), 2, "suspension coverage");
     assert!(layouts.len() >= 2, "layout coverage: {layouts:?}");
     assert!(scenarios.len() >= 32);
+    // Power-loss coverage: several seeds must carry a crash/restore phase,
+    // and between them both torn-write flavors (truncation and bit flip).
+    let crashes: Vec<_> = scenarios.iter().filter_map(|s| s.crash.as_ref()).collect();
+    assert!(
+        crashes.len() >= 4,
+        "crash coverage: {} plans",
+        crashes.len()
+    );
+    let flavors: HashSet<bool> = crashes.iter().map(|c| c.truncate).collect();
+    assert_eq!(flavors.len(), 2, "both torn-write flavors must appear");
 
     let outcomes = par_try_map(scenarios, |sc| {
         run_scenario(&sc).map_err(|_| run_and_diagnose(&sc).expect_err("just failed"))
@@ -104,6 +114,46 @@ fn fuzz_scenarios_audit_clean_across_schemes_layouts_and_suspension() {
     );
     assert!(gc > 0, "some scenario must trigger garbage collection");
     assert!(erases > 0, "some scenario must erase blocks");
+    let crashed = outcomes.iter().filter(|o| o.crashed).count();
+    assert!(
+        crashed >= 4,
+        "crash/snapshot/restore phases actually run: {crashed}"
+    );
+}
+
+/// Crash-recovery regression anchors, runnable standalone via
+/// `AERO_FUZZ_SEED=1` (or `2`). Seed 1 tears the snapshot with a bit flip
+/// and is the seed whose surviving in-flight slab entries first exposed the
+/// power-cut accounting gap; seed 2 tears by truncation, covering the other
+/// flavor. Both must recover into a drive that audits clean.
+#[test]
+fn crash_recovery_regression_seeds_run_clean() {
+    for (seed, truncate) in [(1u64, false), (2u64, true)] {
+        let sc = scenario(seed);
+        let crash = sc
+            .crash
+            .as_ref()
+            .unwrap_or_else(|| panic!("seed {seed} must carry a crash plan"));
+        assert_eq!(
+            crash.truncate, truncate,
+            "seed {seed}: expected torn-write flavor changed — update the anchors"
+        );
+        let outcome = run_and_outcome(&sc);
+        assert!(outcome.crashed, "seed {seed}: the crash phase must run");
+        assert!(
+            outcome.requests_completed < sc.total_requests(),
+            "seed {seed}: the power cut must actually drop requests"
+        );
+    }
+}
+
+/// Runs a scenario expecting success, with the full shrink-and-diagnose
+/// output on failure.
+fn run_and_outcome(sc: &FuzzScenario) -> aero_ssd::scenario::ScenarioOutcome {
+    match run_scenario(sc) {
+        Ok(outcome) => outcome,
+        Err(_) => panic!("{}", run_and_diagnose(sc).expect_err("just failed")),
+    }
 }
 
 /// Same seed ⇒ same scenario, byte for byte, and the same driver outcome.

@@ -17,7 +17,7 @@ use aero_ssd::audit::Auditor;
 use aero_ssd::ftl::{DieFtl, PageMapping, Ppa};
 use aero_ssd::latency::LatencyRecorder;
 use aero_ssd::{Ssd, SsdConfig};
-use aero_workloads::{IterSource, SyntheticWorkload};
+use aero_workloads::{IoRequest, IterSource, SyntheticWorkload};
 use proptest::prelude::*;
 
 proptest! {
@@ -239,5 +239,62 @@ proptest! {
         prop_assert!(checked > 0, "the fill guarantees written LBAs");
         let final_audit = ssd.audit();
         prop_assert!(final_audit.is_clean(), "{}", final_audit);
+    }
+
+    /// A run split across `save_snapshot`/`restore_snapshot` continues
+    /// **byte-identically**: for any scheme, fill level, and split point
+    /// (from a quarter of the run to three quarters), the post-split
+    /// report equals an uninterrupted control run's, and the final drive
+    /// states serialize to the same bytes.
+    #[test]
+    fn snapshot_restore_continuation_is_byte_identical(
+        seed in 0u64..1_000_000,
+        count in 60usize..160,
+        fill in 0.1f64..0.5,
+        split_quarters in 1usize..4,
+    ) {
+        let scheme = SchemeKind::all()[(seed % 5) as usize];
+        let config = SsdConfig::small_test(scheme).with_seed(seed);
+        let workload = SyntheticWorkload {
+            read_ratio: 0.35,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 60_000.0,
+            footprint_bytes: 6 << 20,
+            hot_access_fraction: 0.9,
+            hot_region_fraction: 0.3,
+        };
+        let requests: Vec<IoRequest> = workload.stream(seed).take(count).collect();
+        let (head, tail) = requests.split_at(count * split_quarters / 4);
+
+        let mut control = Ssd::new(config.clone());
+        control.fill_fraction(fill);
+        let mut subject = Ssd::new(config.clone());
+        subject.fill_fraction(fill);
+
+        let head_control = control
+            .session(IterSource::new(head.iter().cloned()))
+            .run_to_end();
+        let head_subject = subject
+            .session(IterSource::new(head.iter().cloned()))
+            .run_to_end();
+        prop_assert_eq!(&head_control, &head_subject);
+
+        // Save, restore into a brand-new drive, and prove the restored
+        // drive re-serializes to the exact same bytes.
+        let bytes = subject.snapshot_bytes();
+        let mut restored = match Ssd::restore_snapshot_bytes(&bytes, &config) {
+            Ok(ssd) => ssd,
+            Err(e) => return Err(TestCaseError::new(format!("restore failed: {e}"))),
+        };
+        prop_assert_eq!(restored.snapshot_bytes(), bytes);
+
+        let tail_control = control
+            .session(IterSource::new(tail.iter().cloned()))
+            .run_to_end();
+        let tail_restored = restored
+            .session(IterSource::new(tail.iter().cloned()))
+            .run_to_end();
+        prop_assert_eq!(&tail_control, &tail_restored);
+        prop_assert_eq!(control.snapshot_bytes(), restored.snapshot_bytes());
     }
 }
