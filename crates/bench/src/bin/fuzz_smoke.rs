@@ -6,27 +6,41 @@
 //!
 //! Run with: `cargo run --release -p aero-bench --bin fuzz_smoke`
 //! Seed count via `AERO_FUZZ_SMOKE_SEEDS` (default 256).
+//! `AERO_FUZZ_FORCE_FAULTS=1` forces a NAND fault plan onto every seed
+//! (the base scenarios are unchanged), turning the run into a fault-
+//! injection sweep; the summary then prints drive-health telemetry.
 
 use std::time::Instant;
 
 use aero_exec::par_try_map;
 use aero_ssd::scenario::{run_scenario, shrink_to_minimal_prefix, ScenarioOptions};
-use aero_workloads::fuzz::scenario;
+use aero_workloads::fuzz::{faulted_scenario, scenario, FuzzScenario};
 
 fn main() {
     let seed_count: u64 = std::env::var("AERO_FUZZ_SMOKE_SEEDS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(256);
+    let force_faults = std::env::var("AERO_FUZZ_FORCE_FAULTS").is_ok_and(|v| v == "1");
+    let derive: fn(u64) -> FuzzScenario = if force_faults {
+        faulted_scenario
+    } else {
+        scenario
+    };
     let seeds: Vec<u64> = (1..=seed_count).collect();
     println!(
-        "fuzz smoke: {} seeded scenarios on {} thread(s)",
+        "fuzz smoke: {} seeded scenarios{} on {} thread(s)",
         seeds.len(),
+        if force_faults {
+            " (faults forced on every seed)"
+        } else {
+            ""
+        },
         aero_exec::thread_count()
     );
     let started = Instant::now();
     let results = par_try_map(seeds, |seed| {
-        let sc = scenario(seed);
+        let sc = derive(seed);
         run_scenario(&sc).map(|o| (seed, o)).map_err(|f| (seed, f))
     });
     match results {
@@ -40,10 +54,35 @@ fn main() {
                  invocations, {erases} erases in {:.2}s",
                 started.elapsed().as_secs_f64()
             );
+            let faulted: Vec<_> = outcomes.iter().filter(|(_, o)| o.faulted).collect();
+            if !faulted.is_empty() {
+                let retired: u64 = faulted.iter().map(|(_, o)| o.retired_blocks).sum();
+                let program_failures: u64 = faulted.iter().map(|(_, o)| o.program_failures).sum();
+                let media_errors: u64 = faulted.iter().map(|(_, o)| o.media_errors).sum();
+                let recovered: u64 = faulted.iter().map(|(_, o)| o.recovered_reads).sum();
+                let rejected: u64 = faulted
+                    .iter()
+                    .map(|(_, o)| o.writes_rejected_read_only)
+                    .sum();
+                let read_only = faulted.iter().filter(|(_, o)| o.read_only).count();
+                let crashed = faulted.iter().filter(|(_, o)| o.crashed).count();
+                println!("fault telemetry ({} faulted scenarios):", faulted.len());
+                println!("  blocks retired            {retired}");
+                println!("  program failures remapped {program_failures}");
+                println!("  reads recovered by retry  {recovered}");
+                println!("  media errors surfaced     {media_errors}");
+                println!("  writes rejected read-only {rejected}");
+                println!("  drives ending read-only   {read_only}");
+                println!("  crash+fault scenarios     {crashed}");
+                if force_faults && retired == 0 {
+                    eprintln!("forced-fault sweep retired no blocks — fault coverage collapsed");
+                    std::process::exit(1);
+                }
+            }
         }
         Err((seed, failure)) => {
             eprintln!("{failure}");
-            let sc = scenario(seed);
+            let sc = derive(seed);
             if let Some(shrunk) = shrink_to_minimal_prefix(&sc, ScenarioOptions::default()) {
                 eprintln!(
                     "minimal failing prefix: {} of {} requests\n{}",

@@ -23,6 +23,7 @@ use std::time::Instant;
 use aero_bench::system::{run_ssd, RunParams};
 use aero_bench::Scale;
 use aero_core::config::SchemeKind;
+use aero_nand::FaultConfig;
 use aero_ssd::{RunReport, Ssd, SsdConfig};
 use aero_workloads::catalog::WorkloadId;
 use aero_workloads::IterSource;
@@ -99,9 +100,16 @@ fn digest(reports: &[RunReport]) -> u64 {
 
 /// Streams [`STREAM_REQUESTS`] synthetic requests through one session,
 /// snapshotting every `window_ns` of simulated time. Returns the wall-clock
-/// seconds and the rendered time-series CSV.
-fn streamed_run(window_ns: u64) -> (f64, String) {
-    let config = SsdConfig::small_test(SchemeKind::Aero).with_seed(0xA11CE);
+/// seconds, the rendered time-series CSV, and the session's final report.
+/// With `fault` set, the drive runs under an active NAND fault model — the
+/// `faulted_*` benchmark row — with spare headroom sized so the run stays
+/// out of read-only degradation (a rejected write is cheaper than a real
+/// one and would flatter the throughput number).
+fn streamed_run(window_ns: u64, fault: Option<FaultConfig>) -> (f64, String, RunReport) {
+    let mut config = SsdConfig::small_test(SchemeKind::Aero).with_seed(0xA11CE);
+    if let Some(fault) = fault {
+        config = config.with_faults(fault).with_spare_blocks(16);
+    }
     let mut ssd = Ssd::new(config);
     ssd.fill_fraction(0.6);
     let workload = aero_workloads::SyntheticWorkload {
@@ -144,7 +152,8 @@ fn streamed_run(window_ns: u64) -> (f64, String) {
         completed, STREAM_REQUESTS as u64,
         "every streamed request must complete"
     );
-    (start.elapsed().as_secs_f64(), csv)
+    let report = sim.run_to_end();
+    (start.elapsed().as_secs_f64(), csv, report)
 }
 
 fn main() {
@@ -169,12 +178,39 @@ fn main() {
     eprintln!("perf_report: streamed-session pass ({STREAM_REQUESTS} requests, one drive)");
     // Snapshot every 10 simulated seconds: ~10 rows over the ~100 s
     // simulated span of the 1M-request stream.
-    let (wall_stream, timeseries) = streamed_run(10_000_000_000);
+    let (wall_stream, timeseries, _) = streamed_run(10_000_000_000, None);
+
+    eprintln!(
+        "perf_report: faulted streamed-session pass ({STREAM_REQUESTS} requests, fault model on)"
+    );
+    // The same streamed run under an active fault model: program-status
+    // failures remap pages, a trickle of erase failures retires blocks,
+    // and read-error spikes run the retry ladder. The rates are sized so
+    // the tiny test drive keeps its space headroom across the whole run.
+    let (wall_faulted, _, faulted_report) = streamed_run(
+        10_000_000_000,
+        Some(FaultConfig {
+            program_fail_per_million: 10_000,
+            erase_fail_per_million: 1_000,
+            grown_bad_per_million: 1_000,
+            read_fault_per_million: 50_000,
+        }),
+    );
+    let health = &faulted_report.health;
+    assert!(
+        health.any_events(),
+        "the faulted pass must actually exercise the fault machinery"
+    );
+    assert!(
+        !health.read_only,
+        "the faulted pass ran into read-only degradation — its throughput \
+         number would not measure the fault path; lower the erase rate"
+    );
 
     let identical = digest(&reference) == digest(&parallel);
     let speedup = wall_1 / wall_n.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"ssd_quick_sweep\",\n  \"jobs\": {jobs},\n  \"requests_per_job\": {REQUESTS_PER_JOB},\n  \"simulated_requests\": {simulated_requests},\n  \"threads\": {threads},\n  \"host_available_parallelism\": {hw},\n  \"wall_s_1_thread\": {w1:.3},\n  \"wall_s_n_threads\": {wn:.3},\n  \"requests_per_sec_1_thread\": {r1:.0},\n  \"requests_per_sec_n_threads\": {rn:.0},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {identical},\n  \"streamed_requests\": {STREAM_REQUESTS},\n  \"streamed_wall_s\": {ws:.3},\n  \"streamed_requests_per_sec\": {rs:.0}\n}}\n",
+        "{{\n  \"bench\": \"ssd_quick_sweep\",\n  \"jobs\": {jobs},\n  \"requests_per_job\": {REQUESTS_PER_JOB},\n  \"simulated_requests\": {simulated_requests},\n  \"threads\": {threads},\n  \"host_available_parallelism\": {hw},\n  \"wall_s_1_thread\": {w1:.3},\n  \"wall_s_n_threads\": {wn:.3},\n  \"requests_per_sec_1_thread\": {r1:.0},\n  \"requests_per_sec_n_threads\": {rn:.0},\n  \"speedup\": {speedup:.2},\n  \"deterministic\": {identical},\n  \"streamed_requests\": {STREAM_REQUESTS},\n  \"streamed_wall_s\": {ws:.3},\n  \"streamed_requests_per_sec\": {rs:.0},\n  \"faulted_streamed_wall_s\": {wf:.3},\n  \"faulted_streamed_requests_per_sec\": {rf:.0},\n  \"faulted_overhead_percent\": {of:.1},\n  \"faulted_retired_blocks\": {fret},\n  \"faulted_program_failures\": {fprog},\n  \"faulted_recovered_reads\": {frec},\n  \"faulted_media_errors\": {fmed}\n}}\n",
         hw = std::thread::available_parallelism().map_or(1, |n| n.get()),
         w1 = wall_1,
         wn = wall_n,
@@ -182,6 +218,13 @@ fn main() {
         rn = simulated_requests as f64 / wall_n.max(1e-9),
         ws = wall_stream,
         rs = STREAM_REQUESTS as f64 / wall_stream.max(1e-9),
+        wf = wall_faulted,
+        rf = STREAM_REQUESTS as f64 / wall_faulted.max(1e-9),
+        of = (wall_faulted / wall_stream.max(1e-9) - 1.0) * 100.0,
+        fret = health.retired_blocks,
+        fprog = health.program_failures,
+        frec = health.recovered_reads(),
+        fmed = health.media_errors,
     );
     // Write the report before enforcing determinism, so a divergence still
     // leaves an artifact (with "deterministic": false) for CI to upload.

@@ -94,9 +94,10 @@ impl EraseStats {
     /// underflow.
     ///
     /// `max_latency` is **not** subtractable — a running maximum cannot be
-    /// un-merged — so the diff keeps `self.max_latency`: the lifetime
-    /// maximum, which is an upper bound on (and usually equal to) the true
-    /// maximum of the interval.
+    /// un-merged — so the diff reports `Micros::ZERO` for it rather than a
+    /// value that silently includes pre-baseline operations. Callers that
+    /// need an interval maximum must track it alongside the stream, as the
+    /// simulation session does for its run-local reports.
     pub fn diff(&self, baseline: &EraseStats) -> EraseStats {
         let mut loop_histogram = [0u64; 9];
         for (d, (a, b)) in loop_histogram.iter_mut().zip(
@@ -116,7 +117,7 @@ impl EraseStats {
                 .complete_erases
                 .saturating_sub(baseline.complete_erases),
             loop_histogram,
-            max_latency: self.max_latency,
+            max_latency: Micros::ZERO,
         }
     }
 
@@ -210,9 +211,10 @@ mod tests {
         assert_eq!(d.partial_erases, 1);
         assert_eq!(d.complete_erases, 0);
         assert_eq!(d.loop_histogram, [0, 1, 0, 0, 0, 0, 0, 0, 0]);
-        // max_latency is not subtractable: the diff keeps the lifetime
-        // maximum (an upper bound on the interval's true maximum).
-        assert_eq!(d.max_latency, Micros::from_millis_f64(10.8));
+        // max_latency is not subtractable: the diff zeroes it instead of
+        // leaking the lifetime maximum into an interval report (interval
+        // maxima must be tracked alongside the stream by the caller).
+        assert_eq!(d.max_latency, Micros::ZERO);
     }
 
     #[test]
@@ -225,6 +227,11 @@ mod tests {
         assert_eq!(d.total_latency, Micros::ZERO);
         assert_eq!(d.total_stress, 0.0);
         assert_eq!(d.loop_histogram, [0u64; 9]);
+        assert_eq!(
+            d.max_latency,
+            Micros::ZERO,
+            "an empty interval has no maximum"
+        );
     }
 
     #[test]

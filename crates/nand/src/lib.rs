@@ -40,6 +40,7 @@ pub mod chip_family;
 pub mod commands;
 pub mod erase;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod reliability;
 pub mod timing;
@@ -54,6 +55,7 @@ pub use erase::characteristics::{BlockEraseState, EraseCharacteristics};
 pub use erase::failbits::FailBitModel;
 pub use erase::ispe::{EraseLoopOutcome, IspeEngine, IspeParams};
 pub use error::NandError;
+pub use fault::{recover_read, FaultConfig, FaultModel, ReadRecovery, MAX_READ_RETRIES};
 pub use geometry::{BlockAddr, ChipGeometry, PageAddr, PlaneId};
 pub use reliability::ecc::{EccConfig, EccOutcome};
 pub use reliability::rber::{RberModel, RberSample};

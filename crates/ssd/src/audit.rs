@@ -113,6 +113,11 @@ pub enum Invariant {
     /// snapshot restored without error, or a pristine snapshot failed to
     /// restore (used by the scenario driver's crash/restore phase).
     Persistence,
+    /// Drive-health bookkeeping inconsistent: retired-block count drifting
+    /// from the erase-failure counter, a read-only flag that disagrees
+    /// with spare exhaustion, or a read-only drive that kept programming
+    /// user pages.
+    DriveHealth,
 }
 
 impl fmt::Display for Invariant {
@@ -133,6 +138,7 @@ impl fmt::Display for Invariant {
             Invariant::OracleWear => "oracle-wear",
             Invariant::ReportSanity => "report-sanity",
             Invariant::Persistence => "persistence",
+            Invariant::DriveHealth => "drive-health",
         };
         f.write_str(name)
     }
@@ -316,7 +322,10 @@ impl Ssd {
                     format!("lpn {lpn} maps to {ppa:?} whose validity bit is clear"),
                 );
             }
-            if matches!(info.state, BlockState::Free | BlockState::Erasing) {
+            if matches!(
+                info.state,
+                BlockState::Free | BlockState::Erasing | BlockState::Retired
+            ) {
                 record(
                     out,
                     Invariant::L2pMapping,
@@ -444,6 +453,52 @@ impl Ssd {
                 );
             }
         }
+
+        self.collect_drive_health_violations(out);
+    }
+
+    /// Drive-health consistency: retirement accounting, the read-only
+    /// transition rule, and the write freeze a read-only drive promises.
+    fn collect_drive_health_violations(&self, out: &mut Vec<Violation>) {
+        let retired: u64 = self
+            .dies
+            .iter()
+            .map(|die| die.ftl.retired_block_count() as u64)
+            .sum();
+        // Every erase failure retires exactly one block, and nothing else
+        // retires blocks, so the two counters must stay locked together.
+        if retired != self.erase_failures {
+            record(
+                out,
+                Invariant::DriveHealth,
+                format!(
+                    "{retired} retired blocks across dies but erase_failures counter is {}",
+                    self.erase_failures
+                ),
+            );
+        }
+        let spares_exhausted = retired > 0 && retired >= self.config.spare_budget();
+        if self.read_only != spares_exhausted {
+            record(
+                out,
+                Invariant::DriveHealth,
+                format!(
+                    "read_only={} but {retired} retired blocks against a spare budget of {}",
+                    self.read_only,
+                    self.config.spare_budget()
+                ),
+            );
+        }
+        if self.read_only && self.user_pages_written != self.read_only_user_pages_written {
+            record(
+                out,
+                Invariant::DriveHealth,
+                format!(
+                    "read-only drive programmed user pages: {} written vs {} at the transition",
+                    self.user_pages_written, self.read_only_user_pages_written
+                ),
+            );
+        }
     }
 
     /// Block lifecycle state machine + free-list accounting for one die.
@@ -452,7 +507,7 @@ impl Ssd {
         let blocks = die.ftl.block_count();
         let pages_per_block = self.config.family.geometry.pages_per_block;
 
-        let mut state_counts = [0u32; 5];
+        let mut state_counts = [0u32; 6];
         let mut open_blocks = Vec::new();
         for block in 0..blocks {
             let info = die.ftl.block(block);
@@ -462,6 +517,7 @@ impl Ssd {
                 BlockState::Full => 2,
                 BlockState::Collecting => 3,
                 BlockState::Erasing => 4,
+                BlockState::Retired => 5,
             };
             state_counts[state_idx] += 1;
             match info.state {
@@ -505,6 +561,19 @@ impl Ssd {
                     }
                 }
                 BlockState::Collecting | BlockState::Erasing => {}
+                BlockState::Retired => {
+                    if info.written_pages != 0 || info.valid_pages != 0 {
+                        record(
+                            out,
+                            Invariant::BlockState,
+                            format!(
+                                "die {die_idx} block {block} is Retired but still holds written \
+                                 {} / valid {} pages",
+                                info.written_pages, info.valid_pages
+                            ),
+                        );
+                    }
+                }
             }
         }
 

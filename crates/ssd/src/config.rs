@@ -3,6 +3,7 @@
 use aero_core::SchemeKind;
 use aero_nand::chip_family::ChipFamily;
 use aero_nand::geometry::ChipGeometry;
+use aero_nand::FaultConfig;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a simulated SSD.
@@ -37,6 +38,16 @@ pub struct SsdConfig {
     pub misprediction_rate: f64,
     /// Seed for the per-die chip models and the simulator's tie-breaking.
     pub seed: u64,
+    /// NAND fault-injection rates (program/erase status failures, grown
+    /// bad blocks, read-error spikes). Disabled by default; the fault
+    /// checks stay off the hot path while every rate is zero.
+    pub fault: FaultConfig,
+    /// Bad-block spare budget per die: how many block retirements the
+    /// drive absorbs (shrinking its over-provisioning) before it
+    /// transitions to read-only graceful degradation. The budget is an
+    /// accounting headroom, not a set-aside region — retired blocks simply
+    /// shrink the pool GC rotates through.
+    pub spare_blocks_per_die: u32,
 }
 
 impl SsdConfig {
@@ -56,6 +67,8 @@ impl SsdConfig {
             rber_requirement: 63,
             misprediction_rate: 0.0,
             seed: 0,
+            fault: FaultConfig::disabled(),
+            spare_blocks_per_die: 2,
         }
     }
 
@@ -99,6 +112,8 @@ impl SsdConfig {
             rber_requirement: 63,
             misprediction_rate: 0.0,
             seed: 0,
+            fault: FaultConfig::disabled(),
+            spare_blocks_per_die: 2,
         }
     }
 
@@ -142,6 +157,24 @@ impl SsdConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style: set the NAND fault-injection rates.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Builder-style: set the per-die bad-block spare budget.
+    pub fn with_spare_blocks(mut self, spare_blocks_per_die: u32) -> Self {
+        self.spare_blocks_per_die = spare_blocks_per_die;
+        self
+    }
+
+    /// Total bad-block spare budget across the drive: the number of
+    /// retirements absorbed before the read-only transition.
+    pub fn spare_budget(&self) -> u64 {
+        self.spare_blocks_per_die as u64 * self.dies() as u64
     }
 
     /// Number of dies in the drive.
@@ -207,13 +240,36 @@ mod tests {
             .with_misprediction_rate(0.1)
             .with_rber_requirement(40)
             .with_channel_layout(1, 4)
-            .with_seed(9);
+            .with_seed(9)
+            .with_faults(FaultConfig {
+                program_fail_per_million: 10,
+                erase_fail_per_million: 20,
+                grown_bad_per_million: 30,
+                read_fault_per_million: 40,
+            })
+            .with_spare_blocks(3);
         assert!(!c.erase_suspension);
         assert_eq!(c.misprediction_rate, 0.1);
         assert_eq!(c.rber_requirement, 40);
         assert_eq!((c.channels, c.chips_per_channel), (1, 4));
         assert_eq!(c.dies(), 4);
         assert_eq!(c.seed, 9);
+        assert!(c.fault.any_enabled());
+        assert_eq!(c.fault.erase_fail_per_million, 20);
+        assert_eq!(c.spare_blocks_per_die, 3);
+        assert_eq!(c.spare_budget(), 12);
+    }
+
+    #[test]
+    fn faults_default_off() {
+        for c in [
+            SsdConfig::paper_default(SchemeKind::Aero),
+            SsdConfig::scaled_paper(SchemeKind::Aero),
+            SsdConfig::small_test(SchemeKind::Aero),
+        ] {
+            assert!(!c.fault.any_enabled());
+            assert!(c.spare_blocks_per_die > 0);
+        }
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum BlockState {
     Collecting,
     /// Erase in flight.
     Erasing,
+    /// Permanently retired after a failed erase (or a grown-bad
+    /// declaration): holds no data, never returns to the free list, and is
+    /// replaced from the drive's spare budget. Terminal.
+    Retired,
 }
 
 /// Per-block FTL bookkeeping.
@@ -265,6 +269,26 @@ impl DieFtl {
         self.blocks[block as usize].state = BlockState::Collecting;
     }
 
+    /// Returns a block selected for collection to ordinary service.
+    /// Used when a rescue migration runs out of page slots mid-collection:
+    /// nothing has been erased yet, so the victim still holds its live
+    /// data and simply becomes a `Full` block again, readable as before.
+    pub fn abort_collecting(&mut self, block: u32) {
+        debug_assert_eq!(self.blocks[block as usize].state, BlockState::Collecting);
+        self.blocks[block as usize].state = BlockState::Full;
+    }
+
+    /// Number of page slots the die can still program without reclaiming
+    /// space: the unwritten tail of the open frontier plus every page of
+    /// every free block.
+    pub fn free_page_slots(&self) -> u64 {
+        let frontier = self
+            .frontier
+            .map(|b| (self.pages_per_block - self.blocks[b as usize].written_pages) as u64)
+            .unwrap_or(0);
+        frontier + self.free_block_count() as u64 * self.pages_per_block as u64
+    }
+
     /// Marks a block as erasing.
     pub fn start_erasing(&mut self, block: u32) {
         self.blocks[block as usize].state = BlockState::Erasing;
@@ -274,6 +298,25 @@ impl DieFtl {
     pub fn finish_erase(&mut self, block: u32) {
         self.blocks[block as usize].reset_after_erase();
         self.free_blocks.push(block);
+    }
+
+    /// Retires a block after a failed erase: its bookkeeping is cleared
+    /// like an erase would, but the state becomes the terminal
+    /// [`BlockState::Retired`] and the block never rejoins the free list.
+    /// Every live page must already have been migrated off (the erase path
+    /// guarantees this — migrations drain before an erase dispatches).
+    pub fn retire_block(&mut self, block: u32) {
+        let info = &mut self.blocks[block as usize];
+        info.reset_after_erase();
+        info.state = BlockState::Retired;
+    }
+
+    /// Number of retired blocks on the die.
+    pub fn retired_block_count(&self) -> u32 {
+        self.blocks
+            .iter()
+            .filter(|b| b.state == BlockState::Retired)
+            .count() as u32
     }
 
     /// Total number of valid pages on the die.
@@ -609,5 +652,50 @@ mod tests {
         // One invalidated page makes that block eligible.
         die.block_mut(first_block).mark_invalid(0);
         assert_eq!(die.pick_gc_victim(), Some(first_block));
+    }
+
+    /// Retirement is terminal: the block's bookkeeping is cleared but it
+    /// never rejoins the free list, is never a GC victim, and is never
+    /// allocated again.
+    #[test]
+    fn retired_blocks_leave_the_rotation() {
+        let mut die = DieFtl::new(2, 4);
+        // Fill the first block and invalidate everything on it.
+        let (victim, _, _) = die.allocate_page().unwrap();
+        for _ in 0..3 {
+            die.allocate_page().unwrap();
+        }
+        for p in 0..4 {
+            die.block_mut(victim).mark_invalid(p);
+        }
+        die.start_collecting(victim);
+        die.start_erasing(victim);
+        die.retire_block(victim);
+        assert_eq!(die.block(victim).state, BlockState::Retired);
+        assert_eq!(die.block(victim).written_pages, 0);
+        assert_eq!(die.block(victim).valid_pages, 0);
+        assert_eq!(die.retired_block_count(), 1);
+        assert_eq!(die.free_block_count(), 1, "one block was never touched");
+        assert!(!die.free_block_ids().contains(&victim));
+        assert_eq!(die.pick_gc_victim(), None);
+        // Allocation uses the remaining free block, never the retired one.
+        for _ in 0..4 {
+            let (block, _, _) = die.allocate_page().unwrap();
+            assert_ne!(block, victim);
+        }
+        assert!(die.allocate_page().is_none(), "capacity shrank by a block");
+        // Round-trip through from_parts: a Retired block off the free list
+        // is legal.
+        let blocks: Vec<BlockInfo> = (0..die.block_count())
+            .map(|b| die.block(b).clone())
+            .collect();
+        let rebuilt = DieFtl::from_parts(
+            blocks,
+            die.free_block_ids().to_vec(),
+            die.frontier(),
+            die.pages_per_block(),
+        )
+        .expect("retired blocks serialize consistently");
+        assert_eq!(rebuilt, die);
     }
 }

@@ -104,6 +104,6 @@ pub use latency::LatencyRecorder;
 pub use persist::{
     apply_torn_write, PersistError, TornWrite, CHECKSUM_BYTES, FORMAT_VERSION, HEADER_BYTES, MAGIC,
 };
-pub use report::{ChannelStats, RunReport};
-pub use session::{SimObserver, Simulation};
+pub use report::{ChannelStats, DriveHealth, RunReport};
+pub use session::{CompletionStatus, SimObserver, Simulation};
 pub use ssd::Ssd;

@@ -21,7 +21,7 @@
 //! additionally runs the full drive audit ([`Ssd::audit`]) and refuses any
 //! snapshot whose decoded state is internally inconsistent.
 //!
-//! # Binary format (version 1)
+//! # Binary format (version 2)
 //!
 //! | Section       | Contents (all integers little-endian)                       |
 //! |---------------|-------------------------------------------------------------|
@@ -30,12 +30,19 @@
 //! | fingerprint   | `u64` FNV-1a of the drive configuration                     |
 //! | mapping       | table length + tagged PPA per LPN; orphan count + entries   |
 //! | counters      | write die, GC/suspension/user-page/request-id counters      |
+//! | health        | fault counters, retry histogram, read-only state            |
 //! | erase stats   | full [`aero_core::EraseStats`] (latencies in nanoseconds)   |
 //! | scheme        | length-prefixed opaque scheme blob (`export_state`)         |
 //! | dies          | per die: block overlays, RNG (33 words), DPES scales, FTL   |
 //! |               | blocks + free list + frontier, reverse map, GC queue, erase |
-//! |               | job, die scheduler clocks (PEC sum, program scale)          |
+//! |               | job (incl. failed flag), die scheduler clocks (PEC sum,     |
+//! |               | program scale), fault RNG (33 words), grown-bad set         |
 //! | checksum      | `u64` FNV-1a over every preceding byte                      |
+//!
+//! Version 1 snapshots (pre-fault-model) are rejected with
+//! [`PersistError::UnsupportedVersion`]: they carry no fault RNG, no
+//! retired-block states, and no health counters, so reinterpreting one
+//! would silently resurrect a drive with its fault state zeroed.
 
 use std::fmt;
 use std::io;
@@ -56,7 +63,7 @@ use crate::ssd::{EraseJob, GcMove, Ssd};
 /// Current snapshot format version. Bumped whenever the binary layout
 /// changes; older files are rejected with
 /// [`PersistError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Leading magic bytes of every snapshot file (`b"AEROSNAP"`).
 pub const MAGIC: [u8; 8] = *b"AEROSNAP";
@@ -361,6 +368,7 @@ fn block_state_tag(state: BlockState) -> u8 {
         BlockState::Full => 2,
         BlockState::Collecting => 3,
         BlockState::Erasing => 4,
+        BlockState::Retired => 5,
     }
 }
 
@@ -371,6 +379,7 @@ fn block_state_from_tag(tag: u8) -> Option<BlockState> {
         2 => BlockState::Full,
         3 => BlockState::Collecting,
         4 => BlockState::Erasing,
+        5 => BlockState::Retired,
         _ => return None,
     })
 }
@@ -415,6 +424,18 @@ impl Ssd {
         put_u64(&mut out, self.erase_suspensions);
         put_u64(&mut out, self.user_pages_written);
         put_u64(&mut out, self.next_request_id);
+
+        // Drive-health state: lifetime fault counters, the retry
+        // histogram, and the read-only degradation latch.
+        put_u64(&mut out, self.program_failures);
+        put_u64(&mut out, self.erase_failures);
+        put_u64(&mut out, self.media_errors);
+        put_u64(&mut out, self.writes_rejected);
+        for bucket in self.read_retry_histogram {
+            put_u64(&mut out, bucket);
+        }
+        put_u8(&mut out, self.read_only as u8);
+        put_u64(&mut out, self.read_only_user_pages_written);
 
         // Drive-wide erase statistics (run-local reports diff against
         // these, so an exact round-trip is required for byte-identical
@@ -504,6 +525,7 @@ impl Ssd {
                     put_u64(&mut out, job.next_loop as u64);
                     put_u8(&mut out, job.started as u8);
                     put_u8(&mut out, job.suspended as u8);
+                    put_u8(&mut out, job.failed as u8);
                 }
             }
             put_u8(&mut out, die.gc_in_progress as u8);
@@ -513,6 +535,17 @@ impl Ssd {
             // the cached program scale).
             put_u64(&mut out, die.pec_sum);
             put_f64(&mut out, die.program_scale);
+
+            // Fault-injection state: the per-die fault RNG mid-stream (so
+            // a restored drive fails the same way an uninterrupted one
+            // would) and the grown-bad set awaiting retirement.
+            for word in die.fault.export_rng() {
+                put_u32(&mut out, word);
+            }
+            put_u64(&mut out, die.grown_bad.len() as u64);
+            for &b in &die.grown_bad {
+                put_u32(&mut out, b);
+            }
         }
         let _ = pages_per_block; // geometry-derived sizes are implicit
         let checksum = fnv1a_64(&out);
@@ -630,6 +663,25 @@ impl Ssd {
         let user_pages_written = need!(r.u64());
         let next_request_id = need!(r.u64());
 
+        // Drive-health state.
+        let program_failures = need!(r.u64());
+        let erase_failures = need!(r.u64());
+        let media_errors = need!(r.u64());
+        let writes_rejected = need!(r.u64());
+        let mut read_retry_histogram = [0u64; 6];
+        for bucket in &mut read_retry_histogram {
+            *bucket = need!(r.u64());
+        }
+        let read_only = match need!(r.u8()) {
+            0 => false,
+            1 => true,
+            _ => return Err(PersistError::Corrupt("read-only flag")),
+        };
+        let read_only_user_pages_written = need!(r.u64());
+        if read_only && read_only_user_pages_written != user_pages_written {
+            return Err(PersistError::Corrupt("read-only write freeze"));
+        }
+
         // Erase statistics.
         let stats = EraseStats {
             operations: need!(r.u64()),
@@ -676,6 +728,13 @@ impl Ssd {
         ssd.erase_suspensions = erase_suspensions;
         ssd.user_pages_written = user_pages_written;
         ssd.next_request_id = next_request_id;
+        ssd.program_failures = program_failures;
+        ssd.erase_failures = erase_failures;
+        ssd.media_errors = media_errors;
+        ssd.writes_rejected = writes_rejected;
+        ssd.read_retry_histogram = read_retry_histogram;
+        ssd.read_only = read_only;
+        ssd.read_only_user_pages_written = read_only_user_pages_written;
 
         for die_idx in 0..limits.dies as usize {
             let block_count = need!(r.u64());
@@ -805,12 +864,18 @@ impl Ssd {
                         1 => true,
                         _ => return Err(PersistError::Corrupt("erase-job suspended flag")),
                     };
+                    let failed = match need!(r.u8()) {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(PersistError::Corrupt("erase-job failed flag")),
+                    };
                     Some(EraseJob {
                         block,
                         loop_latencies,
                         next_loop: next_loop as usize,
                         started,
                         suspended,
+                        failed,
                     })
                 }
                 _ => return Err(PersistError::Corrupt("erase-job tag")),
@@ -826,6 +891,27 @@ impl Ssd {
                 return Err(PersistError::Corrupt("die program scale"));
             }
             die.program_scale = program_scale;
+
+            // Fault-injection state.
+            let mut fault_rng = [0u32; 33];
+            for word in &mut fault_rng {
+                *word = need!(r.u32());
+            }
+            if !die.fault.import_rng(&fault_rng) {
+                return Err(PersistError::Corrupt("fault RNG state"));
+            }
+            let grown_count = need!(r.u64());
+            if grown_count > limits.blocks as u64 {
+                return Err(PersistError::Corrupt("grown-bad set length"));
+            }
+            let mut grown_bad = std::collections::BTreeSet::new();
+            for _ in 0..grown_count {
+                let b = need!(r.u32());
+                if b >= limits.blocks || !grown_bad.insert(b) {
+                    return Err(PersistError::Corrupt("grown-bad set entry"));
+                }
+            }
+            die.grown_bad = grown_bad;
         }
         if !r.is_empty() {
             return Err(PersistError::Corrupt("trailing bytes after the last die"));
@@ -988,6 +1074,79 @@ mod tests {
             "the pending internal work must survive the round-trip"
         );
         assert_eq!(restored.snapshot_bytes(), bytes);
+    }
+
+    /// `PersistError` is a real `std::error::Error`: it can ride in a
+    /// `Box<dyn Error>`, and the I/O variant exposes its cause through
+    /// `source()`. Pinned so the trait impl cannot be dropped silently.
+    #[test]
+    fn persist_error_implements_std_error() {
+        use std::error::Error as _;
+        let io_err = PersistError::Io(io::Error::other("disk on fire"));
+        assert!(io_err.source().is_some(), "Io keeps its cause");
+        assert!(PersistError::BadMagic.source().is_none());
+        let boxed: Box<dyn std::error::Error> = Box::new(PersistError::ChecksumMismatch);
+        assert!(boxed.to_string().contains("checksum"));
+    }
+
+    /// Version-1 snapshots predate the fault model (no fault RNG, no
+    /// retired states, no health counters) and must be refused, not
+    /// reinterpreted with fault state silently zeroed.
+    #[test]
+    fn version_1_snapshots_are_rejected() {
+        let ssd = exercised_drive(SchemeKind::Aero);
+        let mut v1 = ssd.snapshot_bytes();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let body_end = v1.len() - CHECKSUM_BYTES;
+        let sum = fnv1a_64(&v1[..body_end]);
+        v1[body_end..].copy_from_slice(&sum.to_le_bytes());
+        match Ssd::restore_snapshot_bytes(&v1, ssd.config()) {
+            Err(PersistError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            Err(other) => panic!("expected UnsupportedVersion for v1, got {other:?}"),
+            Ok(_) => panic!("expected UnsupportedVersion for v1, got a restored drive"),
+        }
+    }
+
+    /// Fault state round-trips: a drive that retired blocks under an
+    /// active fault model restores byte-identically — health counters,
+    /// fault RNG position, and retired-block states included.
+    #[test]
+    fn faulted_drive_round_trips_with_health_state() {
+        use aero_nand::FaultConfig;
+        let config = SsdConfig::small_test(SchemeKind::Aero)
+            .with_seed(77)
+            .with_faults(FaultConfig {
+                program_fail_per_million: 20_000,
+                erase_fail_per_million: 300_000,
+                grown_bad_per_million: 10_000,
+                read_fault_per_million: 50_000,
+            })
+            .with_spare_blocks(8);
+        let mut ssd = Ssd::new(config.clone());
+        ssd.fill_fraction(0.6);
+        let trace: Trace = SyntheticWorkload {
+            read_ratio: 0.3,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 60_000.0,
+            footprint_bytes: 4 << 20,
+            hot_access_fraction: 0.9,
+            hot_region_fraction: 0.3,
+        }
+        .generate(2_000, 11);
+        let report = ssd.run_trace(&trace);
+        assert!(
+            report.health.erase_failures > 0,
+            "the fault rates must retire at least one block for this test to bite"
+        );
+        let bytes = ssd.snapshot_bytes();
+        let restored = Ssd::restore_snapshot_bytes(&bytes, &config).expect("restore");
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        assert_eq!(restored.retired_blocks(), ssd.retired_blocks());
+        assert_eq!(restored.spare_headroom(), ssd.spare_headroom());
+        assert!(restored.audit().is_clean(), "{}", restored.audit());
     }
 
     #[test]

@@ -28,6 +28,70 @@ pub struct ChannelStats {
     pub write_deferrals: u64,
 }
 
+/// Drive-health telemetry measured over one run, plus the drive's current
+/// degradation state.
+///
+/// Event counters (`program_failures`, `erase_failures`, `media_errors`,
+/// the retry histogram, `writes_rejected_read_only`) are **run-local** —
+/// they count only this run's events, like every other report counter.
+/// `retired_blocks`, `spare_blocks_total`, `spare_headroom`, and
+/// `read_only` describe the drive's *state* at the end of the run (state
+/// accumulated over the drive's whole lifetime, including earlier runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DriveHealth {
+    /// Blocks permanently retired after failed erases, drive-wide.
+    pub retired_blocks: u64,
+    /// The drive's total bad-block spare budget
+    /// (`spare_blocks_per_die × dies`).
+    pub spare_blocks_total: u64,
+    /// Retirements the drive can still absorb before degrading to
+    /// read-only mode (`spare_blocks_total - retired_blocks`, floored at
+    /// zero).
+    pub spare_headroom: u64,
+    /// Program-status failures absorbed this run by remapping the
+    /// in-flight page to the next frontier slot.
+    pub program_failures: u64,
+    /// Erase-status failures this run; each one retired a block.
+    pub erase_failures: u64,
+    /// Reads left uncorrectable this run after the full read-retry and
+    /// soft-decode ladder (completed as `MediaError`).
+    pub media_errors: u64,
+    /// Read-recovery outcomes this run: buckets 0–4 count reads resolved
+    /// after that many retry levels, bucket 5 counts soft-decode
+    /// fallbacks (corrected or not). All zeros when read faults are
+    /// disabled — the ladder never runs.
+    pub read_retry_histogram: [u64; 6],
+    /// User writes completed as `DriveReadOnly` this run because the
+    /// drive had exhausted its spares.
+    pub writes_rejected_read_only: u64,
+    /// Whether the drive is in read-only graceful degradation.
+    pub read_only: bool,
+    /// Simulated time at which the drive transitioned to read-only during
+    /// this run (`None` if it never did, or entered the run already
+    /// read-only).
+    pub read_only_since_ns: Option<u64>,
+}
+
+impl DriveHealth {
+    /// Reads this run that needed recovery beyond the initial hard decode
+    /// (at least one retry level, or the soft-decode fallback).
+    pub fn recovered_reads(&self) -> u64 {
+        self.read_retry_histogram[1..].iter().sum()
+    }
+
+    /// True if any fault event was recorded this run or the drive carries
+    /// degradation state (retired blocks / read-only mode).
+    pub fn any_events(&self) -> bool {
+        self.retired_blocks != 0
+            || self.program_failures != 0
+            || self.erase_failures != 0
+            || self.media_errors != 0
+            || self.writes_rejected_read_only != 0
+            || self.read_only
+            || self.read_retry_histogram.iter().any(|&b| b != 0)
+    }
+}
+
 /// Everything measured during one trace replay on a simulated SSD.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -55,6 +119,9 @@ pub struct RunReport {
     pub erase_suspensions: u64,
     /// Per-channel shared-bus accounting, one entry per channel.
     pub channel_stats: Vec<ChannelStats>,
+    /// Drive-health telemetry: fault counts for this run and the drive's
+    /// degradation state (retired blocks, spare headroom, read-only).
+    pub health: DriveHealth,
 }
 
 impl RunReport {
@@ -192,6 +259,36 @@ mod tests {
         ] {
             assert!(helper.is_finite());
         }
+    }
+
+    #[test]
+    fn default_health_is_clean() {
+        let h = DriveHealth::default();
+        assert_eq!(h.retired_blocks, 0);
+        assert_eq!(h.spare_headroom, 0);
+        assert!(!h.read_only);
+        assert_eq!(h.read_only_since_ns, None);
+        assert_eq!(h.recovered_reads(), 0);
+        assert!(!h.any_events());
+        // A report's default health is clean too, so fault-free report
+        // comparisons are unaffected by the telemetry field.
+        assert!(!RunReport::default().health.any_events());
+    }
+
+    #[test]
+    fn health_helpers_count_degraded_reads() {
+        let h = DriveHealth {
+            read_retry_histogram: [100, 7, 3, 1, 1, 2],
+            media_errors: 1,
+            ..DriveHealth::default()
+        };
+        assert_eq!(h.recovered_reads(), 14);
+        assert!(h.any_events());
+        let ro = DriveHealth {
+            read_only: true,
+            ..DriveHealth::default()
+        };
+        assert!(ro.any_events());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 use std::fmt;
 
+use aero_nand::FaultConfig;
 use aero_workloads::fuzz::{CrashPlan, FuzzScenario};
 use aero_workloads::IterSource;
 
@@ -55,6 +56,22 @@ pub struct ScenarioOutcome {
     /// Whether the scenario's power-loss crash/snapshot/restore phase ran
     /// (see [`aero_workloads::fuzz::CrashPlan`]).
     pub crashed: bool,
+    /// Whether the scenario ran under an active NAND fault model (see
+    /// [`aero_workloads::fuzz::FaultPlan`]).
+    pub faulted: bool,
+    /// Blocks retired after failed erases, drive-wide, by scenario end.
+    pub retired_blocks: u64,
+    /// Program-status failures absorbed by frontier remapping.
+    pub program_failures: u64,
+    /// Reads completed as media errors after exhausting the retry ladder.
+    pub media_errors: u64,
+    /// Reads that needed at least one retry level or the soft-decode
+    /// fallback.
+    pub recovered_reads: u64,
+    /// User writes completed as rejected because the drive was read-only.
+    pub writes_rejected_read_only: u64,
+    /// Whether the drive ended the scenario in read-only degradation.
+    pub read_only: bool,
 }
 
 /// A scenario run that violated an invariant or diverged from the oracle.
@@ -119,16 +136,34 @@ pub fn run_scenario_with(
     scenario: &FuzzScenario,
     options: ScenarioOptions,
 ) -> Result<ScenarioOutcome, Box<ScenarioFailure>> {
-    let config = SsdConfig::small_test(scenario.scheme)
+    let mut config = SsdConfig::small_test(scenario.scheme)
         .with_channel_layout(scenario.channels, scenario.chips_per_channel)
         .with_erase_suspension(scenario.erase_suspension)
         .with_seed(scenario.seed);
+    if let Some(fault) = &scenario.fault {
+        config = config
+            .with_faults(FaultConfig {
+                program_fail_per_million: fault.program_fail_per_million,
+                erase_fail_per_million: fault.erase_fail_per_million,
+                grown_bad_per_million: fault.grown_bad_per_million,
+                read_fault_per_million: fault.read_fault_per_million,
+            })
+            .with_spare_blocks(fault.spare_blocks_per_die);
+    }
     let mut ssd = Ssd::new(config);
     if scenario.precondition_pec > 0 {
         ssd.precondition_wear(scenario.precondition_pec);
     }
-    if scenario.fill_fraction > 0.0 {
-        ssd.fill_fraction(scenario.fill_fraction);
+    // A fault plan imposes a minimum pre-fill: erase faults need GC
+    // pressure to fire at all (see `FaultPlan::min_fill_percent`).
+    let fill_fraction = match &scenario.fault {
+        Some(fault) => scenario
+            .fill_fraction
+            .max(fault.min_fill_percent as f64 / 100.0),
+        None => scenario.fill_fraction,
+    };
+    if fill_fraction > 0.0 {
+        ssd.fill_fraction(fill_fraction);
     }
 
     let mut auditor = Auditor::new()
@@ -264,6 +299,13 @@ pub fn run_scenario_with(
         gc_invocations: ssd.gc_invocations,
         erases: ssd.erase_stats().operations,
         crashed,
+        faulted: scenario.fault.is_some(),
+        retired_blocks: ssd.retired_blocks(),
+        program_failures: ssd.program_failures,
+        media_errors: ssd.media_errors,
+        recovered_reads: ssd.read_retry_histogram[1..].iter().sum(),
+        writes_rejected_read_only: ssd.writes_rejected,
+        read_only: ssd.read_only(),
     })
 }
 
@@ -504,5 +546,47 @@ mod tests {
         assert!(plain.crash.is_none(), "seed 3 is the no-crash control");
         let outcome = run_scenario(&plain).unwrap_or_else(|f| panic!("{f}"));
         assert!(!outcome.crashed);
+    }
+
+    /// Fault-plan scenarios run the whole chip → FTL → completion fault
+    /// path under the auditor and oracle: some seed must actually retire a
+    /// block (proving every erase failure rescued its live pages — the
+    /// oracle's data-loss check covers exactly that), and every faulted
+    /// seed must finish with zero violations.
+    #[test]
+    fn faulted_scenarios_retire_blocks_and_audit_clean() {
+        let mut faulted_runs = 0usize;
+        let mut retired_total = 0u64;
+        for seed in 0..48u64 {
+            let sc = scenario(seed);
+            if sc.fault.is_none() {
+                continue;
+            }
+            faulted_runs += 1;
+            let outcome = run_scenario(&sc).unwrap_or_else(|f| panic!("{f}"));
+            assert!(outcome.faulted);
+            retired_total += outcome.retired_blocks;
+            if faulted_runs >= 6 {
+                break;
+            }
+        }
+        assert!(faulted_runs >= 3, "too few faulted seeds in 0..48");
+        assert!(
+            retired_total > 0,
+            "no faulted seed retired a single block — the erase-fail rates are toothless"
+        );
+    }
+
+    /// The crash × fault product: a power cut on a drive with an active
+    /// fault model (possibly mid-retirement) must still snapshot, reject
+    /// its torn copy, restore, and agree with the oracle.
+    #[test]
+    fn crash_during_faulted_scenario_recovers_clean() {
+        let sc = (0..256u64)
+            .map(scenario)
+            .find(|s| s.fault.is_some() && s.crash.is_some())
+            .expect("some seed draws both a crash and a fault plan");
+        let outcome = run_scenario(&sc).unwrap_or_else(|f| panic!("{f}"));
+        assert!(outcome.crashed && outcome.faulted);
     }
 }

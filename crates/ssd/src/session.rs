@@ -57,14 +57,33 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use aero_nand::geometry::PageAddr;
+use aero_nand::timing::Micros;
+use aero_nand::{recover_read, RetentionSpec};
 use aero_workloads::request::{IoOp, IoRequest};
 use aero_workloads::source::WorkloadSource;
 
 use crate::audit::{record, AuditReport, Auditor, Invariant, Violation};
 use crate::ftl::Ppa;
 use crate::latency::LatencyRecorder;
-use crate::report::{ChannelStats, RunReport};
+use crate::report::{ChannelStats, DriveHealth, RunReport};
 use crate::ssd::{EraseJob, PageTxn, PlacedWrite, Ssd};
+
+/// How a request completed: normally, or degraded through the drive's
+/// fault-recovery path. Requests complete — they are never silently
+/// dropped — but a degraded status tells the host what it actually got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CompletionStatus {
+    /// Every page of the request completed normally.
+    Ok,
+    /// The drive is in read-only graceful degradation: the write was
+    /// acknowledged (its host transfer happened) but nothing was
+    /// programmed.
+    DriveReadOnly,
+    /// At least one read page remained uncorrectable after the full
+    /// read-retry/soft-decode ladder; its data is lost.
+    MediaError,
+}
 
 /// A request that just completed, as seen by [`SimObserver`] hooks.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +98,8 @@ pub struct CompletedRequest {
     pub completed_at: u64,
     /// End-to-end latency (`completed_at - arrival_ns`).
     pub latency_ns: u64,
+    /// How the request completed (the worst status among its pages).
+    pub status: CompletionStatus,
 }
 
 /// An erase operation that just finished paying its simulated time.
@@ -178,6 +199,9 @@ struct InFlight {
     op: IoOp,
     remaining_pages: u32,
     completed_at: u64,
+    /// Worst per-page completion status seen so far (`Ord`: `Ok` <
+    /// `DriveReadOnly` < `MediaError`).
+    status: CompletionStatus,
 }
 
 /// A streaming simulation run over a borrowed [`Ssd`].
@@ -231,6 +255,19 @@ pub struct Simulation<'a, S> {
     baseline_gc_invocations: u64,
     baseline_gc_page_moves: u64,
     baseline_erase_suspensions: u64,
+    // Run-local fault/health accounting.
+    baseline_program_failures: u64,
+    baseline_erase_failures: u64,
+    baseline_media_errors: u64,
+    baseline_read_retry_histogram: [u64; 6],
+    baseline_writes_rejected: u64,
+    /// Largest single-erase latency decided during *this* run (the
+    /// lifetime maximum in `EraseStats` is not subtractable, so the
+    /// session tracks the run-local maximum directly).
+    run_max_erase_latency: Micros,
+    /// Simulated time at which the drive transitioned to read-only during
+    /// this run (`None` if it never did, or already was at session start).
+    read_only_since_ns: Option<u64>,
 }
 
 impl<'a, S: WorkloadSource> Simulation<'a, S> {
@@ -245,6 +282,11 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         let baseline_gc_invocations = ssd.gc_invocations;
         let baseline_gc_page_moves = ssd.gc_page_moves;
         let baseline_erase_suspensions = ssd.erase_suspensions;
+        let baseline_program_failures = ssd.program_failures;
+        let baseline_erase_failures = ssd.erase_failures;
+        let baseline_media_errors = ssd.media_errors;
+        let baseline_read_retry_histogram = ssd.read_retry_histogram;
+        let baseline_writes_rejected = ssd.writes_rejected;
         let in_flight_base = ssd.next_request_id;
         let mut sim = Simulation {
             ssd,
@@ -270,6 +312,13 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             baseline_gc_invocations,
             baseline_gc_page_moves,
             baseline_erase_suspensions,
+            baseline_program_failures,
+            baseline_erase_failures,
+            baseline_media_errors,
+            baseline_read_retry_histogram,
+            baseline_writes_rejected,
+            run_max_erase_latency: Micros::ZERO,
+            read_only_since_ns: None,
         };
         // A completed run always drains every queue, so this only fires for
         // dies an abandoned session left mid-work; their internal traffic
@@ -485,6 +534,56 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         }
     }
 
+    /// Drives one user read page through ECC recovery: looks up the page's
+    /// current physical location, asks the chip model for its raw error
+    /// count (possibly replaced by an injected error spike), and runs the
+    /// read-retry/soft-decode ladder. Returns the extra latency the
+    /// recovery cost beyond the initial sense and the resulting completion
+    /// status. Only called when read faults are enabled, so the fault-free
+    /// read path stays untouched.
+    fn recover_user_read(
+        &mut self,
+        die_idx: usize,
+        lpn: u64,
+        sense_ns: u64,
+    ) -> (u64, CompletionStatus) {
+        let geometry = self.ssd.config.family.geometry;
+        // An unmapped logical page (never written, or dropped by an
+        // abandoned session) senses an erased page: no errors to correct.
+        // Mapped pages are read under the drive's worst-case rated
+        // retention condition so wear and shallow AERO erases feed the
+        // raw error count the retry ladder has to correct.
+        let errors = match self.ssd.mapping.lookup(lpn) {
+            Some(ppa) => {
+                let addr = geometry.block_addr(ppa.block as usize);
+                self.ssd.dies[ppa.die as usize]
+                    .chip
+                    .read_page(PageAddr::new(addr, ppa.page), RetentionSpec::one_year_30c())
+                    .map(|report| report.errors_per_kib)
+                    .unwrap_or(0.0)
+            }
+            None => 0.0,
+        };
+        let capability = self.ssd.ecc.capability_per_kib;
+        let errors = self.ssd.dies[die_idx]
+            .fault
+            .read_spike(capability)
+            .unwrap_or(errors);
+        let recovery = recover_read(&self.ssd.ecc, errors, sense_ns);
+        let bucket = if recovery.soft_decoded {
+            5
+        } else {
+            recovery.retries.min(4) as usize
+        };
+        self.ssd.read_retry_histogram[bucket] += 1;
+        if recovery.corrected {
+            (recovery.extra_latency_ns, CompletionStatus::Ok)
+        } else {
+            self.ssd.media_errors += 1;
+            (recovery.extra_latency_ns, CompletionStatus::MediaError)
+        }
+    }
+
     /// Current simulated time in nanoseconds: the timestamp of the most
     /// recently processed event (or the [`Simulation::run_until`] target,
     /// whichever is later).
@@ -662,6 +761,15 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
 
     /// Everything in a report except the latency recorders.
     fn report_shell(&self) -> RunReport {
+        let mut erase_stats = self.ssd.controller.stats().diff(&self.baseline_erase_stats);
+        // `EraseStats::diff` cannot subtract maxima; the session tracked
+        // the run-local maximum itself.
+        erase_stats.max_latency = self.run_max_erase_latency;
+        let mut read_retry_histogram = [0u64; 6];
+        for (bucket, out) in read_retry_histogram.iter_mut().enumerate() {
+            *out =
+                self.ssd.read_retry_histogram[bucket] - self.baseline_read_retry_histogram[bucket];
+        }
         RunReport {
             scheme: self.scheme.clone(),
             reads_completed: self.reads_completed,
@@ -669,7 +777,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             read_latency: LatencyRecorder::new(),
             write_latency: LatencyRecorder::new(),
             makespan_ns: self.makespan_ns,
-            erase_stats: self.ssd.controller.stats().diff(&self.baseline_erase_stats),
+            erase_stats,
             gc_invocations: self.ssd.gc_invocations - self.baseline_gc_invocations,
             gc_page_moves: self.ssd.gc_page_moves - self.baseline_gc_page_moves,
             erase_suspensions: self.ssd.erase_suspensions - self.baseline_erase_suspensions,
@@ -685,6 +793,18 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                     write_deferrals: c.write_deferrals,
                 })
                 .collect(),
+            health: DriveHealth {
+                retired_blocks: self.ssd.retired_blocks(),
+                spare_blocks_total: self.ssd.config.spare_budget(),
+                spare_headroom: self.ssd.spare_headroom(),
+                program_failures: self.ssd.program_failures - self.baseline_program_failures,
+                erase_failures: self.ssd.erase_failures - self.baseline_erase_failures,
+                media_errors: self.ssd.media_errors - self.baseline_media_errors,
+                read_retry_histogram,
+                writes_rejected_read_only: self.ssd.writes_rejected - self.baseline_writes_rejected,
+                read_only: self.ssd.read_only,
+                read_only_since_ns: self.read_only_since_ns,
+            },
         }
     }
 
@@ -731,6 +851,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             op: request.op,
             remaining_pages: pages,
             completed_at: 0,
+            status: CompletionStatus::Ok,
         }));
         self.in_flight_live += 1;
         for p in 0..pages {
@@ -812,10 +933,21 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 }
             }
             // Sense on the die's array, then move the page over the shared
-            // channel bus (waiting if a neighbor die holds it).
-            let sense_done = now + timings.read.as_nanos();
+            // channel bus (waiting if a neighbor die holds it). With read
+            // faults enabled the sense may be followed by the read-retry
+            // ladder (re-senses, decodes, possibly a soft decode) before
+            // the data is ready to transfer.
+            let sense_ns = timings.read.as_nanos();
+            let mut recovery_ns = 0;
+            let mut status = CompletionStatus::Ok;
+            if self.ssd.config.fault.read_faults_enabled() {
+                let (extra, st) = self.recover_user_read(die_idx, txn.lpn, sense_ns);
+                recovery_ns = extra;
+                status = st;
+            }
+            let sense_done = now + sense_ns + recovery_ns;
             let done = self.ssd.channels[channel_idx].reserve(sense_done, transfer) + transfer;
-            self.complete_page(txn, done);
+            self.complete_page(txn, done, status);
             self.make_busy(die_idx, now, done - now);
             return;
         }
@@ -844,6 +976,19 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         // higher-priority reads in the meantime — instead of reserving the
         // bus ahead of time.
         if let Some(txn) = self.ssd.dies[die_idx].user_writes.pop_front() {
+            if self.ssd.read_only {
+                // Graceful degradation: the host transfer happens (the data
+                // arrived at the controller) but nothing is programmed; the
+                // page completes as `DriveReadOnly`.
+                if let Some(deferred_at) = self.ssd.dies[die_idx].write_deferred_at.take() {
+                    self.ssd.channels[channel_idx].wait_ns += now - deferred_at;
+                }
+                self.ssd.writes_rejected += 1;
+                let done = self.ssd.channels[channel_idx].reserve(now, transfer) + transfer;
+                self.complete_page(txn, done, CompletionStatus::DriveReadOnly);
+                self.make_busy(die_idx, now, done - now);
+                return;
+            }
             let bus_free_at = self.ssd.channels[channel_idx].busy_until;
             if bus_free_at > now {
                 self.ssd.dies[die_idx].user_writes.push_front(txn);
@@ -862,7 +1007,17 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 self.ssd.channels[channel_idx].wait_ns += now - deferred_at;
             }
             let program_scale = self.ssd.dies[die_idx].program_scale;
-            if let Some(placed) = self.ssd.place_write(die_idx, txn.lpn) {
+            // An active rescue that needs every remaining page slot on the
+            // die blocks user writes: a write landing now would strand a
+            // live page on the erase victim. The stall path below dispatches
+            // the rescue instead, which drains the reserve and lets the
+            // write through on a later wake-up.
+            let placed = if self.ssd.rescue_needs_all_slots(die_idx) {
+                None
+            } else {
+                self.ssd.place_write(die_idx, txn.lpn)
+            };
+            if let Some(placed) = placed {
                 self.note_page_write(die_idx, txn.lpn, placed, false, now);
                 // The deferral guard above means the bus is free here: a
                 // user write never waits inside `reserve` — its bus waiting
@@ -870,7 +1025,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 let start = self.ssd.channels[channel_idx].reserve(now, transfer);
                 debug_assert_eq!(start, now, "deferral guard must leave the bus free");
                 let latency = transfer + (timings.program.as_nanos() as f64 * program_scale) as u64;
-                self.complete_page(txn, now + latency);
+                self.complete_page(txn, now + latency, CompletionStatus::Ok);
                 self.start_gc_if_needed(die_idx, now);
                 self.make_busy(die_idx, now, latency);
             } else {
@@ -886,7 +1041,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                         .pop_front()
                         .expect("just requeued");
                     let done = self.ssd.channels[channel_idx].reserve(now, transfer) + transfer;
-                    self.complete_page(txn, done);
+                    self.complete_page(txn, done, CompletionStatus::Ok);
                     self.make_busy(die_idx, now, done - now);
                 }
             }
@@ -952,6 +1107,14 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 done = write_in_done + (timings.program.as_nanos() as f64 * program_scale) as u64;
                 self.ssd.gc_page_moves += 1;
                 self.ssd.user_pages_written -= 1; // GC rewrites are not user writes
+            } else if still_valid {
+                // The rescue write found no slot. The feasibility gate and
+                // the slot reserve make this rare (program-status failures
+                // can still burn slots past the reserve mid-rescue), but a
+                // live page must never be dropped: abort the collection.
+                // Nothing has been erased yet, so the victim returns to
+                // service as a Full block with all of its data intact.
+                self.ssd.abort_gc(die_idx);
             }
             self.make_busy(die_idx, now, done - now);
             return true;
@@ -963,11 +1126,24 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             .is_some_and(|j| !j.started);
         if can_erase {
             let block = self.ssd.dies[die_idx].erase_job.as_ref().unwrap().block;
-            let latencies = self.ssd.decide_erase(die_idx, block);
+            let stats_before = self.ssd.controller.stats().total_latency;
+            let (latencies, failed) = self.ssd.decide_erase(die_idx, block);
+            // The controller recorded exactly this erase since the probe,
+            // so the delta is this erase's device latency — tracked for the
+            // run-local `max_latency` the report carries (lifetime maxima
+            // are not subtractable from `EraseStats` snapshots).
+            let this_erase = self
+                .ssd
+                .controller
+                .stats()
+                .total_latency
+                .saturating_sub(stats_before);
+            self.run_max_erase_latency = self.run_max_erase_latency.max(this_erase);
             {
                 let job = self.ssd.dies[die_idx].erase_job.as_mut().unwrap();
                 job.loop_latencies = latencies;
                 job.started = true;
+                job.failed = failed;
             }
             self.continue_erase(die_idx, now);
             return true;
@@ -1002,7 +1178,8 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         let mut finished_block = None;
         if finished {
             let block = job.block;
-            finished_block = Some(block);
+            let failed = job.failed;
+            finished_block = Some((block, failed));
             // The event (and its O(loops) latency sum) is only built when
             // someone is listening.
             if has_observers {
@@ -1015,13 +1192,17 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 });
             }
             die.erase_job = None;
-            die.ftl.finish_erase(block);
+            if !failed {
+                die.ftl.finish_erase(block);
+            }
             // The erase wiped the block's contents, so its reverse-map
             // entries retire with it. Every live page was migrated or
             // invalidated before the erase dispatched (which also set its
             // entry to MAX), so this sweep is defense in depth: if any
             // path ever leaks a stale entry, it dies here instead of
-            // resurfacing when the block is reused.
+            // resurfacing when the block is reused. A failed erase gets
+            // the same sweep — the block leaves service, so no reverse
+            // mapping may outlive it.
             let base = (block * pages_per_block) as usize;
             die.p2l[base..base + pages_per_block as usize].fill(u64::MAX);
             // GC for this victim is over once its migrations have drained
@@ -1030,7 +1211,15 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             die.gc_in_progress = !die.gc_moves.is_empty();
         }
         self.make_busy(die_idx, now, latency.max(1));
-        if let Some(block) = finished_block {
+        if let Some((block, failed)) = finished_block {
+            if failed {
+                // Erase-status failure: retire the block and absorb it into
+                // the spare budget; exhausting the spares trips the drive
+                // into read-only graceful degradation.
+                if self.ssd.retire_block(die_idx, block) {
+                    self.read_only_since_ns = Some(now + latency.max(1));
+                }
+            }
             if let Some(auditor) = self.auditor.as_deref_mut() {
                 auditor.observe_erase(die_idx, block);
             }
@@ -1051,11 +1240,12 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         }
     }
 
-    /// Marks one page of a request done at simulated time `at`; when it was
-    /// the last page, records the request's latency and notifies observers.
-    /// A transaction whose id predates this session belongs to an abandoned
-    /// earlier one and drains silently.
-    fn complete_page(&mut self, txn: PageTxn, at: u64) {
+    /// Marks one page of a request done at simulated time `at` with the
+    /// given per-page status; when it was the last page, records the
+    /// request's latency and notifies observers. A transaction whose id
+    /// predates this session belongs to an abandoned earlier one and
+    /// drains silently.
+    fn complete_page(&mut self, txn: PageTxn, at: u64, status: CompletionStatus) {
         let Some(slot) = txn.request.checked_sub(self.in_flight_base) else {
             return; // stale transaction from an abandoned session
         };
@@ -1067,6 +1257,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         };
         state.remaining_pages = state.remaining_pages.saturating_sub(1);
         state.completed_at = state.completed_at.max(at);
+        state.status = state.status.max(status);
         if state.remaining_pages > 0 {
             return;
         }
@@ -1097,6 +1288,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 arrival_ns: state.arrival_ns,
                 completed_at: state.completed_at,
                 latency_ns: latency,
+                status: state.status,
             };
             for observer in &mut self.observers {
                 observer.on_request_complete(&event);
@@ -1121,6 +1313,7 @@ mod tests {
             op: IoOp::Read,
             remaining_pages: 1,
             completed_at: 0,
+            status: CompletionStatus::Ok,
         }
     }
 
@@ -1170,6 +1363,7 @@ mod tests {
             next_loop: 0,
             started: true,
             suspended: false,
+            failed: false,
         });
         for r in 0..3 {
             sim.ssd.dies[0]

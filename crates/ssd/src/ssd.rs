@@ -44,7 +44,7 @@
 //! scan; and an in-flight erase walks a cursor over its decided loop
 //! latencies instead of draining a per-job `VecDeque`.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use aero_core::controller::EraseController;
 use aero_core::scheme::{BlockId, EraseScheme};
@@ -54,6 +54,7 @@ use aero_nand::chip::{Chip, ChipConfig};
 use aero_nand::geometry::PageAddr;
 use aero_nand::reliability::ecc::EccConfig;
 use aero_nand::timing::Micros;
+use aero_nand::FaultModel;
 use aero_workloads::request::Trace;
 use aero_workloads::source::{TraceSource, WorkloadSource};
 
@@ -104,6 +105,10 @@ pub(crate) struct EraseJob {
     /// user read preempted it. Cleared when the next loop runs, so a burst
     /// of reads serviced in one gap counts as a single suspension.
     pub(crate) suspended: bool,
+    /// Whether the chip reported an erase-status failure for this job: the
+    /// block still pays its loop latencies on the die, but when the erase
+    /// finishes the block is retired instead of returned to the free pool.
+    pub(crate) failed: bool,
 }
 
 impl EraseJob {
@@ -180,6 +185,13 @@ pub(crate) struct Die {
     /// channel bus was busy (`None` = not deferred). The accumulated wait
     /// is charged to the channel once, when the write finally transfers.
     pub(crate) write_deferred_at: Option<u64>,
+    /// Deterministic fault-injection model for this die (seeded from the
+    /// drive seed; snapshot-safe via its exported RNG state). All draws go
+    /// through it, so fault sequences replay exactly.
+    pub(crate) fault: FaultModel,
+    /// Blocks flagged as grown-bad by the fault model: their next erase
+    /// reports a status failure, routing them through retirement.
+    pub(crate) grown_bad: BTreeSet<u32>,
 }
 
 impl Die {
@@ -219,7 +231,35 @@ pub struct Ssd {
     /// abandoned session can never be mistaken for a later session's
     /// request.
     pub(crate) next_request_id: u64,
+    /// ECC configuration the drive was built with; shared by the erase
+    /// scheme derivation and the read-retry/soft-decode recovery ladder.
+    pub(crate) ecc: EccConfig,
+    /// Lifetime count of program-status failures absorbed by remapping the
+    /// in-flight page to the next frontier slot.
+    pub(crate) program_failures: u64,
+    /// Lifetime count of erase-status failures; each one retires a block.
+    pub(crate) erase_failures: u64,
+    /// Lifetime count of reads left uncorrectable after the full recovery
+    /// ladder (completed as `MediaError`).
+    pub(crate) media_errors: u64,
+    /// Lifetime read-recovery histogram: buckets 0–4 count reads resolved
+    /// after that many retries, bucket 5 counts soft-decode fallbacks.
+    pub(crate) read_retry_histogram: [u64; 6],
+    /// Lifetime count of user writes completed as `DriveReadOnly`.
+    pub(crate) writes_rejected: u64,
+    /// Whether the drive has exhausted its bad-block spare budget and
+    /// degraded to read-only mode. Terminal: reads keep serving, every
+    /// subsequent user write completes as `DriveReadOnly`.
+    pub(crate) read_only: bool,
+    /// `user_pages_written` frozen at the read-only transition; the audit
+    /// asserts it never moves afterwards (a read-only drive places no user
+    /// writes — GC rescue migrations net out to zero on this counter).
+    pub(crate) read_only_user_pages_written: u64,
 }
+
+/// Seed salt separating the per-die fault-model RNG streams from the
+/// per-die chip noise RNG streams derived from the same drive seed.
+const FAULT_SEED_SALT: u64 = 0xFA17_0B5E_5EED_0001;
 
 impl Ssd {
     /// Builds a drive from a configuration: one chip model per die, empty
@@ -250,6 +290,11 @@ impl Ssd {
                 program_scale: 1.0,
                 pec_sum: 0,
                 write_deferred_at: None,
+                fault: FaultModel::new(
+                    config.fault,
+                    config.seed ^ FAULT_SEED_SALT ^ (i as u64 + 1),
+                ),
+                grown_bad: BTreeSet::new(),
             })
             .collect();
         let channels = vec![Channel::default(); config.channels as usize];
@@ -284,6 +329,14 @@ impl Ssd {
             erase_suspensions: 0,
             user_pages_written: 0,
             next_request_id: 0,
+            ecc,
+            program_failures: 0,
+            erase_failures: 0,
+            media_errors: 0,
+            read_retry_histogram: [0; 6],
+            writes_rejected: 0,
+            read_only: false,
+            read_only_user_pages_written: 0,
         };
         for die_idx in 0..ssd.dies.len() {
             ssd.refresh_program_scale(die_idx);
@@ -389,11 +442,12 @@ impl Ssd {
     ///
     /// A thin wrapper over [`Ssd::session`] with a
     /// [`TraceSource`] — byte-identical to driving the session API by hand.
-    /// Everything in the report is **run-local**: erase statistics, GC
+    /// Everything in the report is **run-local**: erase statistics
+    /// (including `max_latency`, which the session tracks per run because
+    /// [`aero_core::EraseStats::diff`] cannot subtract maxima), GC
     /// counters, suspension counts, and channel-bus accounting cover only
-    /// this replay, not preconditioning or earlier `run_trace` calls on the
-    /// same drive (`RunReport::erase_stats::max_latency` is the one
-    /// exception — see [`aero_core::EraseStats::diff`]).
+    /// this replay, not preconditioning or earlier `run_trace` calls on
+    /// the same drive.
     pub fn run_trace(&mut self, trace: &Trace) -> RunReport {
         self.session(TraceSource::new(trace)).run_to_end()
     }
@@ -439,19 +493,37 @@ impl Ssd {
     /// the chip. Returns the physical placement, or `None` if the die has no
     /// space (caller must free space first).
     pub(crate) fn place_write(&mut self, die_idx: usize, lpn: u64) -> Option<PlacedWrite> {
-        let pages_per_block = self.config.family.geometry.pages_per_block;
+        let geometry = self.config.family.geometry;
+        let pages_per_block = geometry.pages_per_block;
         let die = &mut self.dies[die_idx];
-        let (block, page, _) = die.ftl.allocate_page()?;
+        let (block, page) = loop {
+            let (block, page, _) = die.ftl.allocate_page()?;
+            let addr = geometry.block_addr(block as usize);
+            die.chip
+                .program_page(PageAddr::new(addr, page), DataPattern::Randomized)
+                .expect("frontier pages are programmed in order on erased blocks");
+            if die.fault.program_fails() {
+                // Program-status failure: the frontier page stays written
+                // but never valid and never mapped (firmware marks it bad),
+                // and the write remaps to the next frontier slot. GC
+                // reclaims the dead page when the block is collected.
+                die.ftl.block_mut(block).mark_invalid(page);
+                self.program_failures += 1;
+                continue;
+            }
+            break (block, page);
+        };
+        if die.fault.grows_bad() {
+            // The block develops a grown-bad defect: it keeps serving until
+            // its next erase, whose status check fails and retires it.
+            die.grown_bad.insert(block);
+        }
         let ppa = Ppa {
             die: die_idx as u32,
             block,
             page,
         };
         die.p2l[(block * pages_per_block + page) as usize] = lpn;
-        let addr = self.config.family.geometry.block_addr(block as usize);
-        die.chip
-            .program_page(PageAddr::new(addr, page), DataPattern::Randomized)
-            .expect("frontier pages are programmed in order on erased blocks");
         self.user_pages_written += 1;
         // Invalidate the previous location of this logical page.
         let previous = self.mapping.update(lpn, ppa);
@@ -493,11 +565,26 @@ impl Ssd {
     /// the session can notify its observers.
     pub(crate) fn maybe_start_gc(&mut self, die_idx: usize) -> Option<GcStart> {
         let threshold = self.config.gc_threshold_free_blocks;
+        // A read-only drive accepts no new writes, so it has no need for
+        // new free space; an already-running collection finishes, but no
+        // new victim is opened (each erase risks another retirement).
+        if self.read_only {
+            return None;
+        }
         let die = &mut self.dies[die_idx];
         if die.gc_in_progress || die.ftl.free_block_count() > threshold {
             return None;
         }
         let victim = die.ftl.pick_gc_victim()?;
+        // Rescue feasibility: every live page of the victim needs a slot to
+        // migrate into before the erase may run. When retirement has eaten
+        // the die's slack, a victim can carry more live pages than the die
+        // has slots left; starting that collection would wedge between an
+        // erase that must not run and migrations that cannot. Defer instead:
+        // the victim stays readable, and writes stall until space appears.
+        if die.ftl.block(victim).valid_pages as u64 > die.ftl.free_page_slots() {
+            return None;
+        }
         die.gc_in_progress = true;
         self.gc_invocations += 1;
         die.ftl.start_collecting(victim);
@@ -517,6 +604,7 @@ impl Ssd {
             next_loop: 0,
             started: false,
             suspended: false,
+            failed: false,
         });
         Some(GcStart {
             victim_block: victim,
@@ -524,24 +612,40 @@ impl Ssd {
         })
     }
 
-    /// Runs the erase scheme for a block and returns the per-loop latencies to
-    /// pay in simulated time.
-    pub(crate) fn decide_erase(&mut self, die_idx: usize, block: u32) -> Vec<u64> {
+    /// Runs the erase scheme for a block and returns the per-loop latencies
+    /// to pay in simulated time, plus whether the erase-status check failed
+    /// (grown-bad block, injected status failure, or chip loop-budget
+    /// exhaustion under an active fault model). A failed erase still pays
+    /// its loop latencies; the session retires the block when they elapse.
+    pub(crate) fn decide_erase(&mut self, die_idx: usize, block: u32) -> (Vec<u64>, bool) {
         let blocks_per_die = self.config.family.geometry.total_blocks() as usize;
         let addr = self.config.family.geometry.block_addr(block as usize);
         let block_id = BlockId(die_idx * blocks_per_die + block as usize);
         let die = &mut self.dies[die_idx];
         die.ftl.start_erasing(block);
+        // A grown-bad block fails its status check outright, without
+        // consuming an erase-failure draw from the fault RNG.
+        let mut failed = die.grown_bad.remove(&block);
         let mut latencies: Vec<u64> = match self.controller.erase(&mut die.chip, addr, block_id) {
-            Ok(exec) => exec
-                .report
-                .loops
-                .iter()
-                .map(|l| l.latency.as_nanos())
-                .collect(),
+            Ok(exec) => {
+                if !failed {
+                    failed = die.fault.erase_fails(&exec.report);
+                }
+                exec.report
+                    .loops
+                    .iter()
+                    .map(|l| l.latency.as_nanos())
+                    .collect()
+            }
             Err(_) => {
                 // The block exhausted the chip's loop budget (end of life); it
                 // still spent the full budget's worth of time on the die.
+                // Under an active fault model that is an erase-status failure
+                // and the block retires; without one, the legacy behavior
+                // (block returns to service) is preserved.
+                if self.config.fault.erase_fail_per_million != 0 {
+                    failed = true;
+                }
                 let loop_ns = self.config.family.timings.erase_loop().as_nanos();
                 vec![loop_ns; self.config.family.erase.max_loops as usize]
             }
@@ -556,7 +660,73 @@ impl Ssd {
         // running PEC sum and cached program-latency scale.
         self.dies[die_idx].pec_sum += 1;
         self.refresh_program_scale(die_idx);
-        latencies
+        (latencies, failed)
+    }
+
+    /// True while a die's active rescue needs every page slot it has left:
+    /// the pending migrations equal or outnumber the free slots, so a user
+    /// write landing now would strand a live page on the erase victim. The
+    /// session holds user writes back while this is true; the rescue's own
+    /// migrations make progress and release the reserve.
+    pub(crate) fn rescue_needs_all_slots(&self, die_idx: usize) -> bool {
+        let die = &self.dies[die_idx];
+        if !die.gc_in_progress || die.gc_moves.is_empty() {
+            return false;
+        }
+        die.ftl.free_page_slots() <= die.gc_moves.len() as u64
+    }
+
+    /// Aborts an in-flight collection whose rescue ran out of page slots.
+    /// Nothing has been erased yet, so the victim simply returns to service
+    /// as a `Full` block with all of its live data intact; the queued
+    /// migrations and the pending erase job are discarded. The feasibility
+    /// gate in [`Self::maybe_start_gc`] and the slot reserve enforced by the
+    /// session make this a last-resort path, but program-status failures
+    /// can burn extra slots mid-rescue and land here.
+    pub(crate) fn abort_gc(&mut self, die_idx: usize) {
+        let die = &mut self.dies[die_idx];
+        if let Some(job) = die.erase_job.take() {
+            die.ftl.abort_collecting(job.block);
+        }
+        die.gc_moves.clear();
+        die.gc_in_progress = false;
+    }
+
+    /// Retires a block after a failed erase: the block enters the terminal
+    /// [`crate::ftl::BlockState::Retired`] state and the drive's spare
+    /// accounting absorbs it. Returns `true` when this retirement exhausted
+    /// the spare budget and tripped the read-only transition.
+    pub(crate) fn retire_block(&mut self, die_idx: usize, block: u32) -> bool {
+        self.dies[die_idx].ftl.retire_block(block);
+        self.erase_failures += 1;
+        if !self.read_only && self.retired_blocks() >= self.config.spare_budget() {
+            self.read_only = true;
+            self.read_only_user_pages_written = self.user_pages_written;
+            return true;
+        }
+        false
+    }
+
+    /// Total number of retired (permanently bad) blocks across every die.
+    pub fn retired_blocks(&self) -> u64 {
+        self.dies
+            .iter()
+            .map(|d| d.ftl.retired_block_count() as u64)
+            .sum()
+    }
+
+    /// Remaining bad-block spare headroom: retirements the drive can still
+    /// absorb before degrading to read-only mode.
+    pub fn spare_headroom(&self) -> u64 {
+        self.config
+            .spare_budget()
+            .saturating_sub(self.retired_blocks())
+    }
+
+    /// Whether the drive has exhausted its spares and degraded to read-only
+    /// mode (reads keep serving; user writes complete as `DriveReadOnly`).
+    pub fn read_only(&self) -> bool {
+        self.read_only
     }
 }
 

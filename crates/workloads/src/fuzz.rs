@@ -114,6 +114,35 @@ pub struct CrashPlan {
     pub truncate: bool,
 }
 
+/// A NAND fault-injection plan for one scenario: the per-million rates the
+/// drive's seeded fault model runs at, and how many spare blocks per die it
+/// may retire before degrading to read-only mode.
+///
+/// Like [`CrashPlan`] this is a pure description; `aero_ssd::scenario`
+/// applies it to the drive configuration and verifies the fault path
+/// (retirement, page rescue, media-error completions, read-only
+/// transitions) under the auditor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Program-status failure rate, per million page programs.
+    pub program_fail_per_million: u32,
+    /// Erase-status failure base rate, per million erases (scaled up by
+    /// wear and shallow-erase depth in the fault model).
+    pub erase_fail_per_million: u32,
+    /// Grown-bad-block rate, per million page programs.
+    pub grown_bad_per_million: u32,
+    /// Uncorrectable-read error-spike rate, per million user reads.
+    pub read_fault_per_million: u32,
+    /// Spare blocks per die the drive can retire before going read-only.
+    pub spare_blocks_per_die: u32,
+    /// Minimum pre-fill percentage of the logical space (the driver takes
+    /// the max of this and the scenario's own fill fraction). Erase
+    /// failures only fire during erases, and erases only happen under GC
+    /// pressure — a mostly-empty drive would make every erase-fault rate
+    /// toothless.
+    pub min_fill_percent: u32,
+}
+
 /// A complete seeded fuzz scenario: drive knobs plus back-to-back session
 /// plans. Produced by [`scenario`]; executed by `aero_ssd::scenario`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -141,6 +170,9 @@ pub struct FuzzScenario {
     /// When `Some`, one session is interrupted by a power cut followed by a
     /// snapshot/torn-write/restore cycle.
     pub crash: Option<CrashPlan>,
+    /// When `Some`, the drive runs under an active NAND fault model for the
+    /// whole scenario.
+    pub fault: Option<FaultPlan>,
 }
 
 impl FuzzScenario {
@@ -210,6 +242,15 @@ pub fn scenario(seed: u64) -> FuzzScenario {
         None
     };
 
+    // Also drawn after every pre-existing draw (and after the crash draw),
+    // for the same reason: earlier seeds keep their scenarios, and a
+    // crash-during-retirement seed stays a crash-during-retirement seed.
+    let fault = if rng.gen::<f64>() < 1.0 / 3.0 {
+        Some(fault_plan(&mut rng))
+    } else {
+        None
+    };
+
     FuzzScenario {
         seed,
         scheme,
@@ -221,7 +262,38 @@ pub fn scenario(seed: u64) -> FuzzScenario {
         audit_every_events,
         sessions,
         crash,
+        fault,
     }
+}
+
+/// Draws one fault plan. Erase failures are the headline fault (they drive
+/// retirement, page rescue, and spare exhaustion), so their rate range is
+/// aggressive; the others stay low enough that scenarios still complete
+/// their request budgets.
+fn fault_plan(rng: &mut ChaCha12Rng) -> FaultPlan {
+    FaultPlan {
+        program_fail_per_million: rng.gen_range(1_000..50_000),
+        erase_fail_per_million: rng.gen_range(50_000..400_000),
+        grown_bad_per_million: rng.gen_range(0..20_000),
+        read_fault_per_million: rng.gen_range(0..100_000),
+        spare_blocks_per_die: rng.gen_range(1..=4),
+        min_fill_percent: rng.gen_range(70..=88),
+    }
+}
+
+/// Derives the scenario for a seed with a fault plan **forced on**: seeds
+/// whose scenario already carries one are returned unchanged, and the rest
+/// get a plan drawn from an independent RNG stream of the same seed (so
+/// the base scenario — sessions, workloads, crash plan — stays byte-
+/// identical to [`scenario`]'s). Used by the CI fault-injection smoke,
+/// which wants *every* scenario exercising the fault machinery.
+pub fn faulted_scenario(seed: u64) -> FuzzScenario {
+    let mut sc = scenario(seed);
+    if sc.fault.is_none() {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xFA17_0000_0000_FA17);
+        sc.fault = Some(fault_plan(&mut rng));
+    }
+    sc
 }
 
 /// Draws one phase's workload knobs. Footprints deliberately include sizes
@@ -330,6 +402,67 @@ mod tests {
                 assert!(crash.events > 0, "seed {seed}");
                 assert!((0.0..1.0).contains(&crash.tear_point), "seed {seed}");
             }
+            if let Some(fault) = &sc.fault {
+                assert!(
+                    (1_000..50_000).contains(&fault.program_fail_per_million),
+                    "seed {seed}"
+                );
+                assert!(
+                    (50_000..400_000).contains(&fault.erase_fail_per_million),
+                    "seed {seed}"
+                );
+                assert!(fault.grown_bad_per_million < 20_000, "seed {seed}");
+                assert!(fault.read_fault_per_million < 100_000, "seed {seed}");
+                assert!((1..=4).contains(&fault.spare_blocks_per_die), "seed {seed}");
+                assert!((70..=88).contains(&fault.min_fill_percent), "seed {seed}");
+            }
+        }
+    }
+
+    /// Roughly a third of seeds must run under an active fault model, and
+    /// the seed space must include the crash × fault product — a power cut
+    /// on a drive that has been retiring blocks is the hardest recovery
+    /// case the fuzzer covers.
+    #[test]
+    fn fault_plans_cover_the_seed_space() {
+        let scenarios: Vec<FuzzScenario> = (0..96u64).map(scenario).collect();
+        let faulted = scenarios.iter().filter(|s| s.fault.is_some()).count();
+        assert!(
+            (16..=56).contains(&faulted),
+            "fault draw skewed: {faulted}/96"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.fault.is_some() && s.crash.is_some()),
+            "no seed combines a crash with an active fault model"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.fault.is_some() && s.crash.is_none()),
+            "no fault-only seed"
+        );
+    }
+
+    /// Forcing faults changes nothing but the fault plan: the base
+    /// scenario stays byte-identical, already-faulted seeds pass through
+    /// untouched, and every seed ends up with a well-formed plan.
+    #[test]
+    fn forced_fault_scenarios_only_add_the_fault_plan() {
+        for seed in 0..96u64 {
+            let base = scenario(seed);
+            let forced = faulted_scenario(seed);
+            assert!(forced.fault.is_some(), "seed {seed} not faulted");
+            assert_eq!(forced.sessions, base.sessions, "seed {seed}");
+            assert_eq!(forced.crash, base.crash, "seed {seed}");
+            assert_eq!(forced.scheme, base.scheme, "seed {seed}");
+            if base.fault.is_some() {
+                assert_eq!(forced.fault, base.fault, "seed {seed}");
+            }
+            let fault = forced.fault.unwrap();
+            assert!((70..=88).contains(&fault.min_fill_percent), "seed {seed}");
+            assert!((1..=4).contains(&fault.spare_blocks_per_die), "seed {seed}");
         }
     }
 

@@ -1,0 +1,100 @@
+//! Tour of the fault-tolerance path: run a drive under an aggressive NAND
+//! fault model and watch the firmware degrade gracefully — program-status
+//! failures remap in flight, failed erases retire blocks after their live
+//! pages are rescued, read-error spikes climb the read-retry ladder, and
+//! exhausting the spare budget trips read-only mode under which the drive
+//! keeps serving reads while rejecting writes.
+//!
+//! Run with: `cargo run --release --example fault_injection [seed]`
+
+use aero_core::SchemeKind;
+use aero_nand::FaultConfig;
+use aero_ssd::{Ssd, SsdConfig};
+use aero_workloads::{IoOp, IoRequest, Trace, TraceSource};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024u64);
+
+    let config = SsdConfig::small_test(SchemeKind::Aero)
+        .with_seed(seed)
+        .with_faults(FaultConfig {
+            program_fail_per_million: 20_000, // 2 % of programs fail status
+            erase_fail_per_million: 300_000,  // 30 % of erases fail status
+            grown_bad_per_million: 5_000,     // blocks spontaneously go bad
+            read_fault_per_million: 40_000,   // 4 % of reads spike errors
+        })
+        .with_spare_blocks(2);
+    println!(
+        "drive: {} blocks/die x {} dies, {} spare blocks before read-only",
+        config.family.geometry.total_blocks(),
+        config.dies(),
+        config.spare_budget()
+    );
+
+    let logical_pages = config.logical_pages();
+    let mut ssd = Ssd::new(config);
+    ssd.fill_fraction(0.8);
+
+    // Overwrite sweeps force garbage collection; every erase the GC issues
+    // is a chance for an injected failure and a block retirement.
+    let page = |i: u64, lpn: u64, op| IoRequest {
+        arrival_ns: i * 2_000,
+        op,
+        lba: lpn * 32,
+        size_bytes: 16 * 1024,
+    };
+    let mut round = 0;
+    while !ssd.read_only() && round < 12 {
+        round += 1;
+        let sweep: Trace = (0..logical_pages)
+            .map(|lpn| page(lpn, lpn, IoOp::Write))
+            .collect();
+        let report = ssd.session(TraceSource::new(&sweep)).run_to_end();
+        let h = &report.health;
+        println!(
+            "round {round:2}: {} writes | {} program failures remapped, {} erase \
+             failures, {} blocks retired, headroom {}",
+            report.writes_completed,
+            h.program_failures,
+            h.erase_failures,
+            h.retired_blocks,
+            h.spare_headroom,
+        );
+        if let Some(at) = h.read_only_since_ns {
+            println!(
+                "          drive went READ-ONLY at {:.2} ms into the round",
+                at as f64 / 1e6
+            );
+        }
+    }
+
+    // Graceful degradation: reads still serve, writes are rejected.
+    let reads: Trace = (0..logical_pages)
+        .map(|lpn| page(lpn, lpn, IoOp::Read))
+        .collect();
+    let report = ssd.session(TraceSource::new(&reads)).run_to_end();
+    let h = &report.health;
+    println!(
+        "read-only drive: {} reads served ({} recovered by the retry ladder, \
+         {} media errors)",
+        report.reads_completed,
+        h.recovered_reads(),
+        h.media_errors,
+    );
+    let writes: Trace = (0..64).map(|i| page(i, i, IoOp::Write)).collect();
+    let report = ssd.session(TraceSource::new(&writes)).run_to_end();
+    println!(
+        "read-only drive: {} writes submitted, {} rejected as DriveReadOnly",
+        report.writes_completed, report.health.writes_rejected_read_only,
+    );
+
+    let audit = ssd.audit();
+    assert!(audit.is_clean(), "drive invariants violated: {audit}");
+    println!(
+        "final audit: clean ({} blocks retired)",
+        ssd.retired_blocks()
+    );
+}

@@ -13,8 +13,10 @@
 use aero::bench::system::{channel_sweep, run_ssd, table4, RunParams};
 use aero::bench::Scale;
 use aero::core::SchemeKind;
+use aero::ssd::scenario::{run_scenario, ScenarioOutcome};
 use aero::ssd::{Ssd, SsdConfig};
 use aero::workloads::catalog::WorkloadId;
+use aero::workloads::fuzz::scenario;
 use aero::workloads::{IterSource, SyntheticWorkload};
 
 /// Runs a small but real `run_ssd` sweep (2 schemes × 2 workloads × 2 wear
@@ -66,18 +68,41 @@ fn streamed_sweep() -> Vec<(u64, u64, u64, u64, u64)> {
     })
 }
 
+/// Runs the first few *faulted* fuzz scenarios through the scenario driver
+/// in parallel. The fault path draws from per-die fault RNGs (program and
+/// erase status failures, grown-bad blocks, read-retry recovery) and runs
+/// block retirement and read-only degradation; the outcomes — including
+/// every fault-telemetry counter — must not depend on the thread count.
+fn faulted_sweep() -> Vec<ScenarioOutcome> {
+    let seeds: Vec<u64> = (0..64)
+        .filter(|&seed| scenario(seed).fault.is_some())
+        .take(6)
+        .collect();
+    assert!(seeds.len() == 6, "expected 6 faulted seeds in 0..64");
+    aero::exec::par_map(seeds, |seed| {
+        run_scenario(&scenario(seed)).unwrap_or_else(|e| panic!("faulted seed {seed}: {e}"))
+    })
+}
+
 #[test]
 fn sweeps_are_byte_identical_across_thread_counts() {
     // Reference: everything on one thread, as with AERO_THREADS=1.
-    let (sweep_one, streamed_one, table_one, channels_one) = {
+    let (sweep_one, streamed_one, table_one, channels_one, faulted_one) = {
         let _guard = aero::exec::override_threads(1);
         (
             sweep(),
             streamed_sweep(),
             table4(Scale::Quick),
             channel_sweep(Scale::Quick),
+            faulted_sweep(),
         )
     };
+    // The faulted reference must actually exercise the fault machinery,
+    // or the cross-thread comparison below pins nothing.
+    assert!(
+        faulted_one.iter().any(|o| o.retired_blocks > 0),
+        "no faulted scenario retired a block — the sweep lost its coverage"
+    );
 
     // A real run_ssd sweep must match the reference at several counts.
     for threads in [2, 8] {
@@ -95,12 +120,13 @@ fn sweeps_are_byte_identical_across_thread_counts() {
     // check); so must the channel-count sensitivity sweep, whose runs
     // exercise shared-bus arbitration directly, and the raw streaming
     // session path (lazy sources + mid-run snapshots).
-    let (streamed_eight, table_eight, channels_eight) = {
+    let (streamed_eight, table_eight, channels_eight, faulted_eight) = {
         let _guard = aero::exec::override_threads(8);
         (
             streamed_sweep(),
             table4(Scale::Quick),
             channel_sweep(Scale::Quick),
+            faulted_sweep(),
         )
     };
     assert_eq!(
@@ -114,5 +140,9 @@ fn sweeps_are_byte_identical_across_thread_counts() {
     assert_eq!(
         channels_one, channels_eight,
         "channel_sweep quick-scale output diverged between 1 and 8 threads"
+    );
+    assert_eq!(
+        faulted_one, faulted_eight,
+        "fault-injected scenario sweep diverged between 1 and 8 threads"
     );
 }

@@ -201,20 +201,20 @@ fn golden_bytes() -> (SsdConfig, Vec<u8>) {
     (config, ssd.snapshot_bytes())
 }
 
-/// The committed fixture pins format v1: it must keep restoring byte-for-
+/// The committed fixture pins format v2: it must keep restoring byte-for-
 /// byte, and a version-bumped copy must be refused with the typed error.
 #[test]
 fn golden_snapshot_fixture_pins_the_format() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/snapshot_v1.bin"
+        "/tests/fixtures/snapshot_v2.bin"
     );
     let (config, generated) = golden_bytes();
     if std::env::var("AERO_BLESS_FIXTURES").is_ok() {
         std::fs::write(path, &generated).expect("bless the fixture");
     }
     let bytes = std::fs::read(path).expect(
-        "missing tests/fixtures/snapshot_v1.bin — regenerate with \
+        "missing tests/fixtures/snapshot_v2.bin — regenerate with \
          AERO_BLESS_FIXTURES=1 cargo test -q --test persist",
     );
     assert_eq!(bytes[..8], MAGIC, "fixture magic");
@@ -225,7 +225,7 @@ fn golden_snapshot_fixture_pins_the_format() {
     );
     assert_eq!(
         bytes, generated,
-        "snapshot bytes drifted from the committed v1 fixture — if the \
+        "snapshot bytes drifted from the committed v2 fixture — if the \
          format change is deliberate, bump FORMAT_VERSION and re-bless"
     );
 
@@ -249,6 +249,36 @@ fn golden_snapshot_fixture_pins_the_format() {
         }
         Err(other) => panic!("expected UnsupportedVersion, got {other:?}"),
         Ok(_) => panic!("expected UnsupportedVersion, got a restored drive"),
+    }
+}
+
+/// The retained v1 fixture pins the *rejection* of the previous format:
+/// v1 snapshots carry no drive-health section, no per-die fault RNG, and
+/// no erase-job failure flag, so restoring one as v2 would fabricate
+/// health state. The decoder must refuse it with the version pair, before
+/// any body parsing.
+#[test]
+fn committed_v1_fixture_is_refused_with_a_version_error() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v1.bin"
+    );
+    let bytes = std::fs::read(path)
+        .expect("missing tests/fixtures/snapshot_v1.bin — the committed v1 rejection pin");
+    assert_eq!(bytes[..8], MAGIC, "v1 fixture magic");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        1,
+        "the retained fixture must stay at format version 1"
+    );
+    let config = SsdConfig::small_test(SchemeKind::Aero).with_seed(7);
+    match Ssd::restore_snapshot_bytes(&bytes, &config) {
+        Err(PersistError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        Err(other) => panic!("expected UnsupportedVersion, got {other:?}"),
+        Ok(_) => panic!("a v1 snapshot must not restore as v2"),
     }
 }
 
