@@ -9,7 +9,7 @@
 //! effect that makes i-ISPE counter-productive on modern, high-variation 3D
 //! NAND (§3.3 of the AERO paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aero_nand::erase::ispe::EraseLoopOutcome;
 use aero_nand::timing::Micros;
@@ -25,8 +25,10 @@ const IISPE_STATE_TAG: u8 = 0x11;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntelligentIspe {
     default_pulse: Micros,
-    /// Last observed final-loop voltage index per block.
-    last_final_loop: HashMap<BlockId, u32>,
+    /// Last observed final-loop voltage index per block. A `BTreeMap` so
+    /// any future iteration is in block order by construction (the
+    /// workspace determinism contract, aero-lint rule D1).
+    last_final_loop: BTreeMap<BlockId, u32>,
     /// Voltage index the current erase operation started at.
     start_index: u32,
 }
@@ -36,7 +38,7 @@ impl IntelligentIspe {
     pub fn new(default_pulse: Micros) -> Self {
         IntelligentIspe {
             default_pulse,
-            last_final_loop: HashMap::new(),
+            last_final_loop: BTreeMap::new(),
             start_index: 1,
         }
     }
@@ -92,20 +94,14 @@ impl EraseScheme for IntelligentIspe {
     }
 
     /// i-ISPE's mutable state is the per-block final-loop record. Entries
-    /// are encoded sorted by block id so the blob is deterministic
-    /// regardless of hash-map iteration order. `start_index` is transient
+    /// are encoded in block-id order — the `BTreeMap`'s native iteration
+    /// order — so the blob is byte-stable. `start_index` is transient
     /// (set by `begin`).
     fn export_state(&self) -> Vec<u8> {
-        let mut entries: Vec<(usize, u32)> = self
-            .last_final_loop
-            .iter()
-            .map(|(&block, &index)| (block.0, index))
-            .collect();
-        entries.sort_unstable();
         let mut out = vec![IISPE_STATE_TAG];
-        wire::put_u64(&mut out, entries.len() as u64);
-        for (block, index) in entries {
-            wire::put_u64(&mut out, block as u64);
+        wire::put_u64(&mut out, self.last_final_loop.len() as u64);
+        for (&block, &index) in &self.last_final_loop {
+            wire::put_u64(&mut out, block.0 as u64);
             wire::put_u32(&mut out, index);
         }
         out
@@ -122,7 +118,7 @@ impl EraseScheme for IntelligentIspe {
         if count > r.remaining() as u64 / 12 {
             return false;
         }
-        let mut map = HashMap::with_capacity(count as usize);
+        let mut map = BTreeMap::new();
         for _ in 0..count {
             let (block, index) = match (r.u64(), r.u32()) {
                 (Some(b), Some(i)) => (b, i),
@@ -237,7 +233,7 @@ mod tests {
             s.finish(&ctx, &history, true);
         }
         let blob = s.export_state();
-        // Deterministic regardless of hash-map order.
+        // Byte-stable: entries encode in the map's block-id order.
         assert_eq!(blob, s.export_state());
         let mut restored = IntelligentIspe::paper_default();
         assert!(restored.import_state(&blob));

@@ -1,0 +1,529 @@
+//! A hand-rolled, lossless-enough Rust lexer for lint purposes.
+//!
+//! The lexer's single job is to classify every byte of a source file well
+//! enough that the rule engine never mistakes text inside a string literal,
+//! raw string, character literal, or comment for live code — and conversely
+//! never misses a genuine identifier. It handles:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** .. */`, `/*! .. */`),
+//! * string literals with escapes (`"a \" b"`), byte strings (`b".."`),
+//!   C strings (`c".."`), and raw variants with any hash count
+//!   (`r".."`, `r#".."#`, `br##".."##`, `cr#".."#`),
+//! * character literals vs. lifetimes (`'x'`, `'\u{1F600}'`, `b'\n'`
+//!   vs. `'a`, `'static`),
+//! * raw identifiers (`r#type`),
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! It deliberately does **not** build an AST: rules match on short token
+//! sequences, which is all the determinism contract needs, and keeps the
+//! lexer simple enough to be obviously correct (and fully fixture-tested).
+
+/// The classification of one lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`, `r#type`).
+    /// Raw identifiers carry their name without the `r#` prefix.
+    Ident(String),
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A character or byte-character literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// A (possibly byte or C) string literal with escapes: `"..."`.
+    StrLit,
+    /// A raw string literal of any flavor: `r"..."`, `br#"..."#`, ...
+    RawStrLit,
+    /// A numeric literal (integers, floats, any suffix).
+    Number,
+    /// A single punctuation character (`:`, `!`, `{`, ...).
+    Punct(char),
+    /// A `//`-style comment, with its full text (including the `//`).
+    LineComment(String),
+    /// A `/* .. */` comment (nesting-aware), with its full text.
+    BlockComment(String),
+}
+
+/// One token with its 1-based source position (line/column of its first
+/// character).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment(_) | TokenKind::BlockComment(_)
+        )
+    }
+
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The comment text, if this token is a comment.
+    pub fn comment_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::LineComment(text) | TokenKind::BlockComment(text) => Some(text),
+            _ => None,
+        }
+    }
+}
+
+/// Internal cursor over the characters of a source file.
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(source: &str) -> Self {
+        Cursor {
+            chars: source.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+
+    /// Consumes one character, updating the line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes a full source file into tokens. The lexer is total: any input
+/// produces a token stream (unterminated literals simply run to the end of
+/// the file), so linting never fails on strange-but-compiling code.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(source);
+    let mut tokens = Vec::new();
+    while !cur.at_end() {
+        let line = cur.line;
+        let col = cur.col;
+        let c = cur.peek(0).expect("not at end");
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let text = take_line_comment(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::LineComment(text),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let text = take_block_comment(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::BlockComment(text),
+                line,
+                col,
+            });
+            continue;
+        }
+        // String-literal prefixes: r".." r#".."#  b".." b'..' br".."
+        // c".." cr".."  — checked before plain identifiers, mirroring
+        // rustc's lexing of prefixed literals.
+        if let Some(kind) = try_prefixed_literal(&mut cur) {
+            tokens.push(Token { kind, line, col });
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            take_string(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::StrLit,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Lifetimes and character literals.
+        if c == '\'' {
+            let kind = take_quote(&mut cur);
+            tokens.push(Token { kind, line, col });
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let name = take_ident(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::Ident(name),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            take_number(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Everything else is single-character punctuation.
+        cur.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Consumes `//...` to (but not including) the newline.
+fn take_line_comment(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+/// Consumes a nesting-aware `/* .. */` comment (unterminated comments run
+/// to end of input).
+fn take_block_comment(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push('*');
+            text.push('/');
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+/// Consumes a `"..."` string literal with `\`-escapes. The opening quote
+/// must be the current character.
+fn take_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // the escaped character (enough for \" and \\)
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string body starting at the opening `"`, terminated by
+/// `"` followed by `hashes` `#` characters.
+fn take_raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut matched = 0;
+            while matched < hashes && cur.peek(0) == Some('#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// Recognizes literals introduced by an identifier-like prefix: raw
+/// strings, byte strings, C strings, byte chars, and raw identifiers.
+/// Returns `None` (consuming nothing) when the current position is not
+/// such a literal.
+fn try_prefixed_literal(cur: &mut Cursor) -> Option<TokenKind> {
+    let c0 = cur.peek(0)?;
+    // Two-letter prefixes first: br / cr.
+    let (prefix_len, raw_allowed) = match (c0, cur.peek(1)) {
+        ('b', Some('r')) | ('c', Some('r')) => (2, true),
+        ('r', _) => (1, true),
+        ('b', _) | ('c', _) => (1, false),
+        _ => return None,
+    };
+    let next = cur.peek(prefix_len);
+    match next {
+        // b"..."  c"..."  (escapes apply)
+        Some('"') if !raw_allowed => {
+            for _ in 0..prefix_len {
+                cur.bump();
+            }
+            take_string(cur);
+            Some(TokenKind::StrLit)
+        }
+        // r"..."  br"..."  cr"..."
+        Some('"') => {
+            for _ in 0..prefix_len {
+                cur.bump();
+            }
+            take_raw_string(cur, 0);
+            Some(TokenKind::RawStrLit)
+        }
+        // b'...'
+        Some('\'') if c0 == 'b' && prefix_len == 1 => {
+            cur.bump();
+            Some(take_quote(cur))
+        }
+        // r#"..."#  br##"..."##  — or the raw identifier r#name.
+        Some('#') if raw_allowed => {
+            let mut hashes = 0;
+            while cur.peek(prefix_len + hashes) == Some('#') {
+                hashes += 1;
+            }
+            match cur.peek(prefix_len + hashes) {
+                Some('"') => {
+                    for _ in 0..prefix_len + hashes {
+                        cur.bump();
+                    }
+                    take_raw_string(cur, hashes);
+                    Some(TokenKind::RawStrLit)
+                }
+                // r#ident — a raw identifier (only valid with the bare
+                // `r` prefix and a single `#`).
+                Some(c) if c0 == 'r' && prefix_len == 1 && hashes == 1 && is_ident_start(c) => {
+                    cur.bump(); // r
+                    cur.bump(); // #
+                    Some(TokenKind::Ident(take_ident(cur)))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Disambiguates `'` into a lifetime or a character literal and consumes
+/// it. The opening quote must be the current character.
+fn take_quote(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // opening quote
+    match cur.peek(0) {
+        // Escaped char: '\n', '\'', '\u{..}'.
+        Some('\\') => {
+            cur.bump();
+            cur.bump(); // escaped character (or the 'u' of \u{..})
+            while let Some(c) = cur.peek(0) {
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            TokenKind::CharLit
+        }
+        // 'a / 'static — a lifetime unless a closing quote follows the
+        // single identifier character ('x' is a char literal).
+        Some(c) if is_ident_start(c) && cur.peek(1) != Some('\'') => {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Lifetime
+        }
+        // 'x'
+        Some(_) => {
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::CharLit
+        }
+        None => TokenKind::CharLit,
+    }
+}
+
+fn take_ident(cur: &mut Cursor) -> String {
+    let mut name = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        name.push(c);
+        cur.bump();
+    }
+    name
+}
+
+/// Consumes a numeric literal loosely: digits, `_`, suffix letters, and a
+/// decimal point followed by a digit (so `1.max(2)` keeps the `.` as
+/// punctuation while `1.5` stays one token).
+fn take_number(cur: &mut Cursor) {
+    while let Some(c) = cur.peek(0) {
+        let continues_literal = c.is_ascii_alphanumeric()
+            || c == '_'
+            || (c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()));
+        if continues_literal {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r###"
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw string"#;
+            // HashMap in a line comment
+            /// HashMap in a doc comment
+            /* HashMap /* nested */ in a block comment */
+            let c = real_ident;
+        "###;
+        let names = idents(src);
+        assert!(!names.iter().any(|n| n == "HashMap"), "{names:?}");
+        assert!(names.iter().any(|n| n == "real_ident"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_prefixes() {
+        let src = r####"
+            let a = r##"quote " and hash # inside"##;
+            let b = br#"bytes"#;
+            let c = b"esc \" aped";
+            after
+        "####;
+        let toks = lex(src);
+        let raws = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStrLit)
+            .count();
+        assert_eq!(raws, 2);
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::CharLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let nl = '\n'; let q = '\''; let u = '\u{1F600}'; next";
+        assert!(idents(src).contains(&"next".to_string()));
+        let chars = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        let names = idents("let r#type = r#match;");
+        assert!(names.contains(&"type".to_string()));
+        assert!(names.contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_floats() {
+        let src = "1.5e3 + 0xFF_u32 + 2.0_f64 + 1.max(2)";
+        let toks = lex(src);
+        // `1.max(2)` keeps `.` as punctuation and `max` as an identifier.
+        assert!(toks
+            .iter()
+            .any(|t| t.ident().is_some_and(|name| name == "max")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Punct('.')));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_loop() {
+        // The lexer is total: pathological inputs still terminate.
+        lex("let s = \"unterminated");
+        lex("let s = r#\"unterminated");
+        lex("/* unterminated");
+        lex("let c = '");
+    }
+}

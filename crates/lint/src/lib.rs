@@ -1,0 +1,46 @@
+//! # aero-lint — the workspace determinism & safety static-analysis pass
+//!
+//! Every result this reproduction publishes rests on the simulator being
+//! *deterministic by construction*: the 1-vs-8-thread sweeps are pinned
+//! byte-identical, golden snapshot fixtures are compared bit-for-bit, and
+//! the scenario fuzzer replays seeds exactly. One stray `HashMap`
+//! iteration, wall-clock read, or rogue thread on the simulation path
+//! would silently break all of that — *after* the fact. This crate makes
+//! the contract checkable on every commit instead:
+//!
+//! * a hand-rolled, comment/string/raw-string-aware Rust [`lexer`], so
+//!   `"HashMap"` in a string, doc comment, or `r#".."#` literal never
+//!   false-positives, and
+//! * a rule [`engine`] that walks the workspace sources and enforces the
+//!   determinism [`rules`] (D1–D5), honoring
+//!   `// aero-lint: allow(<rule>, <reason>)` suppression pragmas — the
+//!   reason is mandatory, and unused pragmas are themselves findings.
+//!
+//! Run it from the repository root:
+//!
+//! ```text
+//! cargo run -p aero-lint -- --workspace
+//! cargo run -p aero-lint -- --workspace --format=json
+//! ```
+//!
+//! `tests/lint.rs` in the umbrella crate runs [`engine::lint_workspace`]
+//! over the real checkout and asserts zero unsuppressed findings, so the
+//! pass is part of `cargo test` as well as a dedicated CI step.
+//!
+//! Like `aero-exec`, the crate has **zero external dependencies**: only
+//! `std::fs` for walking the tree. The walker skips `target/`, `vendor/`
+//! (third-party stand-ins), and `fixtures/` directories (lint-test
+//! snippets containing deliberate violations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{collect_rust_files, lint_source, lint_workspace};
+pub use engine::{FileReport, Finding, LintReport, Suppression};
+pub use report::{render_json, render_text};
+pub use rules::{FileContext, Rule, ALL_RULES};

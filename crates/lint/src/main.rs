@@ -1,0 +1,130 @@
+//! The `aero-lint` command-line interface.
+//!
+//! ```text
+//! aero-lint --workspace                 # lint the repository, text report
+//! aero-lint --workspace --format=json   # machine-readable report
+//! aero-lint --root PATH --json-out F    # text to stdout + JSON artifact
+//! aero-lint --list-rules               # the rule table
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
+//! error.
+
+// This binary's product IS its stdout/stderr; the workspace-level
+// print_stdout/print_stderr denies are for library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aero_lint::{lint_workspace, render_json, render_text, ALL_RULES};
+
+/// Parsed command-line options.
+struct Options {
+    root: PathBuf,
+    json: bool,
+    json_out: Option<PathBuf>,
+    verbose: bool,
+    list_rules: bool,
+}
+
+const USAGE: &str = "\
+aero-lint — determinism & safety static-analysis pass
+
+USAGE:
+    aero-lint [--workspace | --root PATH] [OPTIONS]
+
+OPTIONS:
+    --workspace        Lint the workspace this binary was built from
+                       (default when no --root is given)
+    --root PATH        Lint the tree rooted at PATH instead
+    --format=FORMAT    Output format: text (default) or json
+    --json-out PATH    Also write the JSON report to PATH
+    --verbose          List suppressed findings in the text report
+    --list-rules       Print the rule table and exit
+    --help             Print this help and exit
+";
+
+fn parse_args() -> Result<Options, String> {
+    // The workspace root is two levels up from this crate's manifest
+    // (crates/lint): resolved at compile time, so `cargo run -p aero-lint
+    // -- --workspace` needs no configuration.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let mut opts = Options {
+        root: default_root,
+        json: false,
+        json_out: None,
+        verbose: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => {
+                let path = args.next().ok_or("--root requires a path")?;
+                opts.root = PathBuf::from(path);
+            }
+            "--format=text" => opts.json = false,
+            "--format=json" => opts.json = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("unknown format {other:?}")),
+            },
+            "--json-out" => {
+                let path = args.next().ok_or("--json-out requires a path")?;
+                opts.json_out = Some(PathBuf::from(path));
+            }
+            "--verbose" => opts.verbose = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("aero-lint: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in ALL_RULES {
+            println!("{:3} {:24} {}", rule.id(), rule.slug(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match lint_workspace(&opts.root) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("aero-lint: failed to scan {}: {error}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.json_out {
+        if let Err(error) = std::fs::write(path, render_json(&report)) {
+            eprintln!("aero-lint: failed to write {}: {error}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report, opts.verbose));
+    }
+    if report.unsuppressed_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

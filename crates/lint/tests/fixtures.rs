@@ -1,0 +1,193 @@
+//! Fixture suite for the lint engine: each snippet under `tests/fixtures/`
+//! is linted via [`aero_lint::lint_source`] under synthetic workspace paths
+//! and the exact `(rule, line)` outcomes are pinned. The snippets are never
+//! compiled (the workspace walker also skips `fixtures/` directories, so
+//! their deliberate violations never pollute `--workspace` runs).
+
+use aero_lint::{lint_source, FileReport, Rule};
+
+const CLEAN_LITERALS: &str = include_str!("fixtures/clean_literals.rs");
+const CLEAN_CFG_TEST: &str = include_str!("fixtures/clean_cfg_test.rs");
+const VIOLATION_HASH: &str = include_str!("fixtures/violation_hash.rs");
+const VIOLATION_CLOCK_THREAD: &str = include_str!("fixtures/violation_clock_thread.rs");
+const VIOLATION_HOT_PATH: &str = include_str!("fixtures/violation_hot_path.rs");
+const VIOLATION_UNSAFE: &str = include_str!("fixtures/violation_unsafe.rs");
+const SUPPRESSED_CLEAN: &str = include_str!("fixtures/suppressed_clean.rs");
+const SUPPRESSED_MALFORMED: &str = include_str!("fixtures/suppressed_malformed.rs");
+
+/// All findings (suppressed or not) as `(rule, line)` pairs, in source order.
+fn findings(report: &FileReport) -> Vec<(Rule, u32)> {
+    report.findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+/// Unsuppressed findings as `(rule, line)` pairs.
+fn unsuppressed(report: &FileReport) -> Vec<(Rule, u32)> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.suppressed_reason.is_none())
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn banned_names_in_strings_and_comments_are_inert() {
+    // The harshest possible context: a hot-path file in a sim crate, where
+    // every rule applies. Nothing may fire on literals or comments.
+    let report = lint_source("crates/ssd/src/session.rs", CLEAN_LITERALS);
+    assert_eq!(findings(&report), vec![], "literals must not trigger rules");
+    assert!(report.suppressions.is_empty());
+}
+
+#[test]
+fn cfg_test_items_are_exempt_except_for_unsafe() {
+    let report = lint_source("crates/ssd/src/session.rs", CLEAN_CFG_TEST);
+    assert_eq!(
+        findings(&report),
+        vec![],
+        "cfg(test) items must be masked for D1-D4"
+    );
+}
+
+#[test]
+fn hash_collections_fire_in_sim_crates_only() {
+    for path in [
+        "crates/nand/src/timing.rs",
+        "crates/core/src/scheme.rs",
+        "crates/ssd/src/gc.rs",
+        "crates/workloads/src/traces.rs",
+    ] {
+        let report = lint_source(path, VIOLATION_HASH);
+        assert_eq!(
+            unsuppressed(&report),
+            vec![
+                (Rule::HashCollections, 5),
+                (Rule::HashCollections, 6),
+                (Rule::HashCollections, 9),
+                (Rule::HashCollections, 11),
+            ],
+            "D1 must fire in {path}"
+        );
+    }
+    // Outside the simulation crates the rule does not apply.
+    for path in ["crates/bench/src/report.rs", "crates/exec/src/pool.rs"] {
+        let report = lint_source(path, VIOLATION_HASH);
+        assert_eq!(findings(&report), vec![], "D1 must not fire in {path}");
+    }
+    // Test files inside sim crates are exempt too.
+    let report = lint_source("crates/core/tests/scheme.rs", VIOLATION_HASH);
+    assert_eq!(findings(&report), vec![]);
+}
+
+#[test]
+fn clock_and_thread_rules_respect_crate_exemptions() {
+    // Sim crate: every clock read is D2, the spawn is D3.
+    let report = lint_source("crates/ssd/src/gc.rs", VIOLATION_CLOCK_THREAD);
+    assert_eq!(
+        unsuppressed(&report),
+        vec![
+            (Rule::WallClock, 6),
+            (Rule::WallClock, 6),
+            (Rule::WallClock, 9),
+            (Rule::WallClock, 10),
+            (Rule::WallClock, 11),
+            (Rule::WallClock, 12),
+            (Rule::ThreadCreate, 13),
+        ]
+    );
+    // Bench may read clocks but may not create threads.
+    let report = lint_source("crates/bench/src/main.rs", VIOLATION_CLOCK_THREAD);
+    assert_eq!(unsuppressed(&report), vec![(Rule::ThreadCreate, 13)]);
+    // Exec owns both clocks and threads.
+    let report = lint_source("crates/exec/src/pool.rs", VIOLATION_CLOCK_THREAD);
+    assert_eq!(findings(&report), vec![]);
+}
+
+#[test]
+fn panic_rules_fire_only_in_hot_path_modules() {
+    for path in [
+        "crates/ssd/src/session.rs",
+        "crates/ssd/src/ftl.rs",
+        "crates/ssd/src/ssd.rs",
+        "crates/nand/src/chip.rs",
+    ] {
+        let report = lint_source(path, VIOLATION_HOT_PATH);
+        assert_eq!(
+            unsuppressed(&report),
+            vec![
+                (Rule::PanicHotPath, 7),
+                (Rule::PanicHotPath, 8),
+                (Rule::PanicHotPath, 10),
+            ],
+            "D4 must fire in {path}"
+        );
+    }
+    // The same constructs in a non-hot-path module are allowed.
+    let report = lint_source("crates/ssd/src/fault.rs", VIOLATION_HOT_PATH);
+    assert_eq!(findings(&report), vec![]);
+}
+
+#[test]
+fn unsafe_is_flagged_everywhere_including_tests() {
+    for path in [
+        "crates/ssd/src/session.rs",
+        "crates/bench/src/main.rs",
+        "crates/exec/src/pool.rs",
+        "tests/determinism.rs",
+    ] {
+        let report = lint_source(path, VIOLATION_UNSAFE);
+        assert_eq!(
+            unsuppressed(&report),
+            vec![(Rule::UnsafeCode, 6), (Rule::UnsafeCode, 14)],
+            "D5 must fire in {path}, even inside cfg(test) items"
+        );
+    }
+}
+
+#[test]
+fn well_formed_pragmas_suppress_and_are_marked_used() {
+    // A hot-path file so both the D1 and D4 pragmas have something to do.
+    let report = lint_source("crates/ssd/src/ftl.rs", SUPPRESSED_CLEAN);
+    assert_eq!(unsuppressed(&report), vec![], "everything is covered");
+    assert_eq!(
+        report.findings.len(),
+        4,
+        "the violations are still recorded"
+    );
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.suppressed_reason.is_some()));
+    assert_eq!(report.suppressions.len(), 4);
+    assert!(
+        report.suppressions.iter().all(|s| s.used),
+        "no pragma may go unused"
+    );
+    assert!(report.suppressions.iter().all(|s| !s.reason.is_empty()));
+}
+
+#[test]
+fn malformed_and_unused_pragmas_are_findings_and_suppress_nothing() {
+    let report = lint_source("crates/core/src/scheme.rs", SUPPRESSED_MALFORMED);
+    assert_eq!(
+        unsuppressed(&report),
+        vec![
+            (Rule::MalformedSuppression, 5), // unknown rule id
+            (Rule::HashCollections, 6),
+            (Rule::MalformedSuppression, 8), // missing reason
+            (Rule::HashCollections, 9),
+            (Rule::MalformedSuppression, 11), // empty reason
+            (Rule::HashCollections, 12),
+            (Rule::HashCollections, 13),
+            (Rule::MalformedSuppression, 16), // S-rules are not suppressible
+            (Rule::HashCollections, 17),
+            (Rule::HashCollections, 18),
+            (Rule::UnusedSuppression, 21), // pragma with nothing to do
+        ]
+    );
+    assert_eq!(
+        report.findings.len(),
+        unsuppressed(&report).len(),
+        "a broken pragma must never suppress anything"
+    );
+}

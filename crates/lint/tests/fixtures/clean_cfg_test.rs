@@ -1,0 +1,31 @@
+//! Fixture: banned constructs inside `#[cfg(test)]` items are exempt from
+//! every rule except D5 (no-unsafe). There is no `unsafe` here, so this
+//! file must lint clean even under a sim-crate path.
+//! (This file is a lint-test snippet; it is never compiled.)
+
+pub fn live_code() -> u32 {
+    41 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::{HashMap, HashSet};
+    use std::time::Instant;
+
+    #[test]
+    fn harness_may_do_anything() {
+        let start = Instant::now();
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        let s: HashSet<u32> = m.values().copied().collect();
+        assert_eq!(s.len(), 1);
+        let _ = start.elapsed();
+        m.get(&1).unwrap();
+        panic!("even this is fine in a test");
+    }
+}
+
+#[cfg(test)]
+fn helper_outside_module() {
+    let _ = std::env::var("RUST_LOG");
+}

@@ -1,0 +1,18 @@
+//! Fixture: every banned name below is inert — hidden inside string
+//! literals, raw strings, or comments. A correct lexer reports nothing.
+//! (This file is a lint-test snippet; it is never compiled.)
+
+/// Doc comments may discuss `HashMap`, `Instant::now()`, and even
+/// `thread::spawn` freely — prose is not code.
+pub fn describe() -> String {
+    let plain = "HashMap and HashSet live in std::collections";
+    // A raw string with hashes, containing a fake terminator:
+    let raw = r##"use std::collections::HashMap; "# still inside "##;
+    let bytes = b"SystemTime::now() as bytes";
+    let braw = br#"unsafe { thread::spawn }"#;
+    /* Block comments too: Instant, SystemTime, env::var("PATH"),
+       /* nested: HashMap::new() */ still a comment. */
+    let ch = 'u'; // not the start of `unsafe`
+    let lifetime: &'static str = "env::var inside a string";
+    format!("{plain}{raw}{bytes:?}{braw:?}{ch}{lifetime}")
+}

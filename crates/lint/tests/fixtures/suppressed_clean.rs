@@ -1,0 +1,19 @@
+//! Fixture: every violation below is covered by a well-formed pragma with
+//! a reason, so the file has findings but zero *unsuppressed* findings and
+//! no unused pragmas. (Never compiled.)
+
+// aero-lint: allow(D1, fixture exercises same-line-above pragma coverage)
+use std::collections::HashMap;
+
+pub fn covered(v: Option<u32>) -> u32 {
+    let mut m = HashMap::new(); // aero-lint: allow(no-hash-collections, slug form on the same line)
+    m.insert(1u32, 2u32);
+
+    // aero-lint: allow(D4, pragma reaches across blank and comment lines)
+
+    // An intervening comment line does not break coverage.
+    let a = v.unwrap();
+    /* aero-lint: allow(D4, block-comment pragmas work too) */
+    let b = v.expect("covered");
+    a + b + m.len() as u32
+}

@@ -1,0 +1,24 @@
+//! Fixture: broken pragmas. Each one is itself a finding (S1 malformed /
+//! S2 unused), and none of them suppress anything — S-rule findings are
+//! never suppressible. (Never compiled.)
+
+// aero-lint: allow(D9, no such rule)
+use std::collections::HashMap;
+
+// aero-lint: allow(D1)
+use std::collections::HashSet;
+
+// aero-lint: allow(D1,   )
+pub fn empty_reason() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+// aero-lint: allow(S1, suppressing the suppression police is not allowed)
+pub fn meta() -> HashSet<u32> {
+    HashSet::new()
+}
+
+// aero-lint: allow(D2, nothing on the next line reads a clock)
+pub fn unused_pragma() -> u32 {
+    7
+}

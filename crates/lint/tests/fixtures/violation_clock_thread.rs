@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads (D2) and thread creation (D3) in live code.
+//! Under a sim-crate path both rules fire; under `crates/bench` only D3
+//! fires (bench may read clocks but may not spawn threads); under
+//! `crates/exec` neither fires. (Never compiled.)
+
+use std::time::{Instant, SystemTime};
+
+pub fn naughty() {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    let _home = std::env::var("HOME");
+    let _n = std::thread::available_parallelism();
+    let handle = std::thread::spawn(move || t0.elapsed());
+    let _ = handle.join();
+}

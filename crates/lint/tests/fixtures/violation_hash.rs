@@ -1,0 +1,13 @@
+//! Fixture: genuine `HashMap`/`HashSet` uses in live (non-test) code.
+//! Under a sim-crate path these are D1 violations; under `crates/bench`
+//! the rule does not apply. (Never compiled.)
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> usize {
+    let mut m = HashMap::new();
+    m.insert("k", 1);
+    let s: HashSet<&str> = m.keys().copied().collect();
+    s.len()
+}

@@ -1,0 +1,13 @@
+//! Fixture: panic-prone constructs. These are D4 violations only when the
+//! file is one of the hot-path modules (session.rs / ftl.rs / ssd.rs /
+//! chip.rs) in a library crate; elsewhere D4 does not apply. (Never
+//! compiled.)
+
+pub fn risky(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("caller promised Some");
+    if a != b {
+        panic!("impossible");
+    }
+    a
+}

@@ -1,0 +1,16 @@
+//! Fixture: `unsafe` is banned everywhere (D5), including inside
+//! `#[cfg(test)]` items — the one rule that sees test code. (Never
+//! compiled.)
+
+pub fn live() -> u32 {
+    unsafe { std::mem::transmute::<i32, u32>(-1) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn still_flagged_in_tests() {
+        let p = &7u32 as *const u32;
+        let _ = unsafe { *p };
+    }
+}

@@ -10,7 +10,7 @@
 //! erase can be finalized early with the block left insufficiently erased
 //! (AERO's aggressive mode).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -145,8 +145,10 @@ pub struct Chip {
     blocks: Vec<BlockState>,
     rber: RberModel,
     rng: ChaCha12Rng,
-    /// Erase operations currently in flight, keyed by block.
-    active_erases: HashMap<BlockAddr, IspeEngine>,
+    /// Erase operations currently in flight, keyed by block. A `BTreeMap`
+    /// so any future iteration is in address order by construction (the
+    /// workspace determinism contract, aero-lint rule D1).
+    active_erases: BTreeMap<BlockAddr, IspeEngine>,
     /// Program-latency scale applied to subsequent programs (DPES raises it).
     program_latency_scale: f64,
     /// Erase-voltage scale applied to subsequently started erases.
@@ -175,7 +177,7 @@ impl Chip {
             blocks,
             rber,
             rng,
-            active_erases: HashMap::new(),
+            active_erases: BTreeMap::new(),
             program_latency_scale: 1.0,
             erase_voltage_scale: 1.0,
         }

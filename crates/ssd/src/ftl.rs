@@ -236,6 +236,7 @@ impl DieFtl {
             self.blocks[block as usize].state = BlockState::Open;
             self.frontier = Some(block);
         }
+        // aero-lint: allow(D4, the branch above populated the frontier or returned None)
         let block = self.frontier.expect("frontier just ensured");
         let info = &mut self.blocks[block as usize];
         let page = info.written_pages;

@@ -55,7 +55,7 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use aero_nand::geometry::PageAddr;
 use aero_nand::timing::Micros;
@@ -448,7 +448,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         // dispatched-and-counted, never both or neither). Transactions
         // with pre-session ids belong to an abandoned session and drain
         // harmlessly.
-        let mut queued: HashMap<u64, u32> = HashMap::new();
+        let mut queued: BTreeMap<u64, u32> = BTreeMap::new();
         for die in &self.ssd.dies {
             for txn in die.user_reads.iter().chain(die.user_writes.iter()) {
                 if txn.request >= self.ssd.next_request_id {
@@ -629,10 +629,12 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             let request = self
                 .lookahead
                 .take()
+                // aero-lint: allow(D4, peek_arrival returned Some above, so the lookahead slot is filled)
                 .expect("peek_arrival returned Some, so the lookahead is filled");
             self.now = request.arrival_ns;
             self.admit(request);
         } else {
+            // aero-lint: allow(D4, the take_arrival match returned early unless a die event exists)
             let (now, die_idx) = die_event.expect("no arrival taken implies a die event");
             self.events.pop();
             self.now = now;
@@ -926,6 +928,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 let job = self.ssd.dies[die_idx]
                     .erase_job
                     .as_mut()
+                    // aero-lint: allow(D4, erase_in_flight was checked on this die just above)
                     .expect("in-flight erase checked above");
                 if !job.suspended {
                     job.suspended = true;
@@ -1039,6 +1042,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                     let txn = self.ssd.dies[die_idx]
                         .user_writes
                         .pop_front()
+                        // aero-lint: allow(D4, the same transaction was push_front'ed two lines up)
                         .expect("just requeued");
                     let done = self.ssd.channels[channel_idx].reserve(now, transfer) + transfer;
                     self.complete_page(txn, done, CompletionStatus::Ok);
@@ -1125,6 +1129,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             .as_ref()
             .is_some_and(|j| !j.started);
         if can_erase {
+            // aero-lint: allow(D4, can_erase proved the job is Some; a borrow cannot span decide_erase)
             let block = self.ssd.dies[die_idx].erase_job.as_ref().unwrap().block;
             let stats_before = self.ssd.controller.stats().total_latency;
             let (latencies, failed) = self.ssd.decide_erase(die_idx, block);
@@ -1140,6 +1145,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 .saturating_sub(stats_before);
             self.run_max_erase_latency = self.run_max_erase_latency.max(this_erase);
             {
+                // aero-lint: allow(D4, can_erase proved the job is Some and decide_erase never clears it)
                 let job = self.ssd.dies[die_idx].erase_job.as_mut().unwrap();
                 job.loop_latencies = latencies;
                 job.started = true;
@@ -1261,6 +1267,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         if state.remaining_pages > 0 {
             return;
         }
+        // aero-lint: allow(D4, entry matched Some in the let-else above and was not replaced since)
         let state = entry.take().expect("entry matched Some above");
         self.in_flight_live -= 1;
         // Pop completed leading slots so the slab spans only the window

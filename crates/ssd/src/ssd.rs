@@ -369,6 +369,7 @@ impl Ssd {
             for addr in geometry.iter_blocks() {
                 die.chip
                     .precondition_block(addr, pec)
+                    // aero-lint: allow(D4, iter_blocks yields only in-range addresses for this geometry)
                     .expect("block address from geometry iterator is valid");
             }
             // Every block now sits at exactly `pec` cycles.
@@ -501,6 +502,7 @@ impl Ssd {
             let addr = geometry.block_addr(block as usize);
             die.chip
                 .program_page(PageAddr::new(addr, page), DataPattern::Randomized)
+                // aero-lint: allow(D4, the FTL frontier hands out pages of an erased block in order)
                 .expect("frontier pages are programmed in order on erased blocks");
             if die.fault.program_fails() {
                 // Program-status failure: the frontier page stays written

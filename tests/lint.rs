@@ -1,0 +1,57 @@
+//! The workspace-wide static-analysis gate: `aero-lint` must report zero
+//! unsuppressed findings over the whole tree, and every suppression pragma
+//! must be well-formed (a known rule plus a non-empty reason) and actually
+//! cover a finding. This is the same check CI runs via
+//! `cargo run -p aero-lint -- --workspace`; having it in the umbrella test
+//! suite means a plain `cargo test` catches determinism/safety regressions
+//! (stray `HashMap`s, clock reads, thread spawns, hot-path `unwrap`s,
+//! `unsafe`) before they land.
+
+use std::path::Path;
+
+use aero_lint::{lint_workspace, render_text};
+
+/// Workspace root: the umbrella crate's manifest dir IS the root.
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let report = lint_workspace(root()).expect("workspace walk failed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert_eq!(
+        report.unsuppressed_count(),
+        0,
+        "aero-lint found violations:\n{}",
+        render_text(&report, true)
+    );
+}
+
+#[test]
+fn every_suppression_is_used_and_justified() {
+    let report = lint_workspace(root()).expect("workspace walk failed");
+    for s in &report.suppressions {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "{}:{}: suppression without a reason",
+            s.file,
+            s.line
+        );
+        assert!(
+            s.used,
+            "{}:{}: pragma suppresses nothing (S2)",
+            s.file, s.line
+        );
+    }
+    // The engine reports unused pragmas as findings too; this pins that the
+    // two views agree.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.rule != aero_lint::Rule::UnusedSuppression));
+}
