@@ -4,6 +4,11 @@
 //! after shrinking the offending seed to a minimal request prefix and
 //! printing a copy-pasteable reproduction recipe.
 //!
+//! Roughly a third of the seeds draw a multi-tenant plan, so the smoke also
+//! runs contended drives (several tenants arbitrated through the host
+//! interface) under the oracle and prints their tenant telemetry; a large
+//! run producing zero contended scenarios fails as a coverage collapse.
+//!
 //! Run with: `cargo run --release -p aero-bench --bin fuzz_smoke`
 //! Seed count via `AERO_FUZZ_SMOKE_SEEDS` (default 256).
 //! `AERO_FUZZ_FORCE_FAULTS=1` forces a NAND fault plan onto every seed
@@ -54,6 +59,29 @@ fn main() {
                  invocations, {erases} erases in {:.2}s",
                 started.elapsed().as_secs_f64()
             );
+            let contended: Vec<_> = outcomes.iter().filter(|(_, o)| o.multi_tenant).collect();
+            if !contended.is_empty() {
+                let completed: u64 = contended
+                    .iter()
+                    .map(|(_, o)| o.tenant_requests_completed)
+                    .sum();
+                let rejected: u64 = contended.iter().map(|(_, o)| o.tenant_rejected).sum();
+                let deferred: u64 = contended.iter().map(|(_, o)| o.tenant_deferred).sum();
+                println!(
+                    "multi-tenant telemetry ({} contended scenarios):",
+                    contended.len()
+                );
+                println!("  tenant requests completed {completed}");
+                println!("  tenant arrivals rejected  {rejected}");
+                println!("  tenant arrivals deferred  {deferred}");
+            }
+            // The tenant plan is drawn with probability ~0.35 per seed; a
+            // run of 64+ seeds producing zero contended scenarios means the
+            // fuzzer stopped deriving multi-tenant plans.
+            if seed_count >= 64 && contended.is_empty() {
+                eprintln!("no multi-tenant scenarios in {seed_count} seeds — coverage collapsed");
+                std::process::exit(1);
+            }
             let faulted: Vec<_> = outcomes.iter().filter(|(_, o)| o.faulted).collect();
             if !faulted.is_empty() {
                 let retired: u64 = faulted.iter().map(|(_, o)| o.retired_blocks).sum();

@@ -1,0 +1,9 @@
+//! Regenerates the multi-tenant interference study (per-tenant p99.99 tail
+//! latency, reader vs noisy neighbor, across erase schemes × arbiters).
+//!
+//! Usage: `cargo run -p aero-bench --release --bin interference_study [full]`
+
+fn main() {
+    let scale = aero_bench::Scale::from_args();
+    println!("{}", aero_bench::interference::interference_study(scale));
+}

@@ -1,0 +1,224 @@
+//! Multi-tenant interference study — the noisy-neighbor analogue of Table 4.
+//!
+//! One latency-sensitive reader tenant shares the drive with a write-heavy
+//! noisy neighbor, swept over every erase scheme × every arbitration policy.
+//! For each scheme the study first measures the reader running **solo** (same
+//! host interface, one tenant) to establish an interference-free p99.99
+//! baseline, then measures the contended pair under round-robin,
+//! weighted-share, and earliest-deadline arbitration. The rendered table
+//! reports per-tenant p99.99 read-path tail latency plus the reader's
+//! inflation over its solo baseline — how much tail each policy lets the
+//! neighbor steal.
+//!
+//! Every (scheme, arbiter) cell is one independent, individually seeded job
+//! fanned out with [`aero_exec::par_map`] and consumed in input order, so the
+//! rendered table is byte-identical at any thread count — the same
+//! determinism contract as the rest of the bench harnesses (and it is pinned
+//! alongside them in `tests/determinism.rs`).
+
+use aero_characterize::report::{fmt, TextTable};
+use aero_core::config::SchemeKind;
+use aero_exec::par_map;
+use aero_ssd::{HostInterface, RunReport, Ssd, SsdConfig, TenantConfig};
+use aero_workloads::{ArbiterKind, IterSource, SyntheticWorkload};
+
+use crate::scale::Scale;
+
+/// Shared base seed: the drive, preconditioning, and both tenant streams are
+/// all derived from it, making every job a pure function of its parameters.
+const SEED: u64 = 0xC0FFEE;
+
+/// Device-slot budget the tenants arbitrate over (outstanding requests).
+const DEVICE_SLOTS: usize = 16;
+
+/// One cell of the sweep: a scheme, and either a contended run under an
+/// arbiter or the solo-reader baseline (`arbiter == None`).
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    scheme: SchemeKind,
+    arbiter: Option<ArbiterKind>,
+}
+
+/// The latency-sensitive tenant: small (4 KiB) reads at a brisk cadence.
+fn reader_workload(footprint_bytes: u64) -> SyntheticWorkload {
+    SyntheticWorkload {
+        read_ratio: 1.0,
+        mean_request_bytes: 4.0 * 1024.0,
+        mean_inter_arrival_ns: 50_000.0,
+        footprint_bytes,
+        hot_access_fraction: 0.8,
+        hot_region_fraction: 0.2,
+    }
+}
+
+/// The noisy neighbor: large (64 KiB) writes arriving fast enough to keep
+/// the drive saturated, forcing erases and bus traffic under the reader.
+fn writer_workload(footprint_bytes: u64) -> SyntheticWorkload {
+    SyntheticWorkload {
+        read_ratio: 0.0,
+        mean_request_bytes: 64.0 * 1024.0,
+        mean_inter_arrival_ns: 8_000.0,
+        footprint_bytes,
+        hot_access_fraction: 0.8,
+        hot_region_fraction: 0.2,
+    }
+}
+
+/// Runs one cell of the sweep. The solo baseline goes through the same
+/// [`HostInterface`] as the contended runs (just with a single tenant), so
+/// its latencies carry identical end-to-end semantics — device latency plus
+/// host queueing delay.
+fn run_job(job: &Job, scale: Scale) -> RunReport {
+    let config = match scale {
+        Scale::Quick => SsdConfig::small_test(job.scheme),
+        Scale::Full => SsdConfig::scaled_paper(job.scheme),
+    }
+    .with_seed(SEED);
+    let logical_bytes = config.logical_capacity_bytes();
+    let mut ssd = Ssd::new(config);
+    ssd.precondition_wear(2500);
+    ssd.fill_fraction(0.7);
+
+    // Scale tenant footprints to the (possibly tiny) simulated drive so that
+    // garbage collection is exercised at both scales.
+    let footprint = ((logical_bytes as f64 * 0.5) as u64).max(1 << 20);
+    let requests = scale.pick(3_000usize, 30_000usize);
+
+    let reader = TenantConfig::new("reader")
+        .with_weight(4)
+        .with_queue_depth(64)
+        .with_deadline_ns(2_000_000);
+    let reader_source =
+        IterSource::new(reader_workload(footprint).stream(SEED ^ 0x1).take(requests));
+
+    let mut host = HostInterface::new(job.arbiter.unwrap_or(ArbiterKind::RoundRobin))
+        .with_device_slots(DEVICE_SLOTS)
+        .tenant(reader, reader_source);
+    if job.arbiter.is_some() {
+        let writer = TenantConfig::new("writer")
+            .with_weight(1)
+            .with_queue_depth(64)
+            .with_deadline_ns(10_000_000);
+        let writer_source =
+            IterSource::new(writer_workload(footprint).stream(SEED ^ 0x2).take(requests));
+        host.add_tenant(writer, writer_source);
+    }
+    host.run(&mut ssd)
+}
+
+/// Runs the full sweep — 5 erase schemes × (solo baseline + 3 arbiters) —
+/// and renders the per-tenant p99.99 table.
+pub fn interference_study(scale: Scale) -> String {
+    let schemes = SchemeKind::all();
+    let mut jobs = Vec::new();
+    for &scheme in &schemes {
+        jobs.push(Job {
+            scheme,
+            arbiter: None,
+        });
+        for arbiter in ArbiterKind::all() {
+            jobs.push(Job {
+                scheme,
+                arbiter: Some(arbiter),
+            });
+        }
+    }
+    let mut reports = par_map(jobs, move |job| run_job(&job, scale)).into_iter();
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "arbiter",
+        "reader p99.99 (us)",
+        "writer p99.99 (us)",
+        "reader inflation",
+    ]);
+    for &scheme in &schemes {
+        let solo = reports.next().unwrap_or_default();
+        let solo_p9999 = tenant_p9999_us(&solo, "reader");
+        table.row(vec![
+            format!("{scheme:?}"),
+            "solo".to_string(),
+            fmt(solo_p9999, 1),
+            "-".to_string(),
+            fmt(1.0, 2),
+        ]);
+        for arbiter in ArbiterKind::all() {
+            let contended = reports.next().unwrap_or_default();
+            let reader_p9999 = tenant_p9999_us(&contended, "reader");
+            let writer_p9999 = tenant_p9999_us(&contended, "writer");
+            let inflation = if solo_p9999 > 0.0 {
+                reader_p9999 / solo_p9999
+            } else {
+                0.0
+            };
+            table.row(vec![
+                format!("{scheme:?}"),
+                arbiter.label().to_string(),
+                fmt(reader_p9999, 1),
+                fmt(writer_p9999, 1),
+                format!("{}x", fmt(inflation, 2)),
+            ]);
+        }
+    }
+    table.render()
+}
+
+/// End-to-end (device + host queueing) p99.99 latency of one tenant slice,
+/// in microseconds; 0 when the tenant slice is absent.
+fn tenant_p9999_us(report: &RunReport, name: &str) -> f64 {
+    report
+        .tenant(name)
+        .map(|t| t.tails().p99_99_us())
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_baseline_runs_one_tenant_and_contended_runs_two() {
+        let solo = run_job(
+            &Job {
+                scheme: SchemeKind::Baseline,
+                arbiter: None,
+            },
+            Scale::Quick,
+        );
+        assert_eq!(solo.tenants.len(), 1);
+        assert!(solo.tenant("reader").is_some());
+
+        let contended = run_job(
+            &Job {
+                scheme: SchemeKind::Baseline,
+                arbiter: Some(ArbiterKind::WeightedShare),
+            },
+            Scale::Quick,
+        );
+        assert_eq!(contended.tenants.len(), 2);
+        let reader = contended.tenant("reader").expect("reader slice");
+        let writer = contended.tenant("writer").expect("writer slice");
+        assert!(reader.completed() > 0 && writer.completed() > 0);
+        // The noisy neighbor must actually inflate the reader's tail.
+        let solo_reader = solo.tenant("reader").expect("solo reader slice");
+        assert!(
+            reader.tails().p99_99_ns > solo_reader.tails().p99_99_ns,
+            "contended reader p99.99 ({}) should exceed solo ({})",
+            reader.tails().p99_99_ns,
+            solo_reader.tails().p99_99_ns
+        );
+    }
+
+    #[test]
+    fn table_has_a_row_per_scheme_and_policy() {
+        let rendered = interference_study(Scale::Quick);
+        // 5 schemes × (1 solo + 3 arbiters) data rows.
+        for label in ["solo", "round-robin", "weighted-share", "earliest-deadline"] {
+            assert_eq!(
+                rendered.matches(label).count(),
+                SchemeKind::all().len(),
+                "one {label} row per scheme"
+            );
+        }
+    }
+}

@@ -24,6 +24,11 @@
 //! sensitivity), `fig17` (RBER-requirement sensitivity), `table4` (average
 //! latency / IOPS).
 //!
+//! Multi-tenant (backed by [`interference`]): `interference_study` — a
+//! latency-sensitive reader against a write-heavy noisy neighbor, swept over
+//! every erase scheme × arbitration policy, reporting per-tenant p99.99 tail
+//! latency and the reader's inflation over its solo baseline.
+//!
 //! ```console
 //! $ cargo run --release -p aero-bench --bin fig04          # quick scale
 //! $ cargo run --release -p aero-bench --bin fig04 full     # paper scale
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod interference;
 pub mod scale;
 pub mod system;
 

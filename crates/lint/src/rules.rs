@@ -32,7 +32,7 @@ pub const THREAD_CRATE: &str = "exec";
 
 /// File names of the library hot-path modules where panicking shortcuts
 /// (`unwrap`/`expect`/`panic!`/`todo!`/...) are denied (rule D4).
-pub const HOT_PATH_FILES: &[&str] = &["session.rs", "ftl.rs", "ssd.rs", "chip.rs"];
+pub const HOT_PATH_FILES: &[&str] = &["session.rs", "ftl.rs", "ssd.rs", "chip.rs", "host.rs"];
 
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -226,6 +226,12 @@ mod tests {
         assert!(ssd.rule_applies(Rule::HashCollections));
         assert!(ssd.rule_applies(Rule::PanicHotPath));
         assert!(ssd.rule_applies(Rule::WallClock));
+
+        // The multi-tenant host interface is simulation hot path: same
+        // determinism (D1) and no-panic (D4) rules as the session loop.
+        let host = FileContext::classify("crates/ssd/src/host.rs");
+        assert!(host.rule_applies(Rule::HashCollections));
+        assert!(host.rule_applies(Rule::PanicHotPath));
 
         let bench = FileContext::classify("crates/bench/src/bin/perf_report.rs");
         assert!(!bench.rule_applies(Rule::WallClock));

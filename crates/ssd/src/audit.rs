@@ -478,13 +478,39 @@ impl Ssd {
             );
         }
         let spares_exhausted = retired > 0 && retired >= self.config.spare_budget();
-        if self.read_only != spares_exhausted {
+        // A die is space-wedged when it can neither program (no free page
+        // slots) nor reclaim: no erase job, no queued migrations, and every
+        // GC victim still carries live pages that have nowhere to go. The
+        // session trips the read-only transition the moment a user write
+        // lands on such a die, and nothing frees space afterwards, so the
+        // predicate keeps holding at every later checkpoint.
+        let space_wedged = self.dies.iter().any(|die| {
+            die.ftl.free_page_slots() == 0
+                && die.erase_job.is_none()
+                && die.gc_moves.is_empty()
+                && die
+                    .ftl
+                    .pick_gc_victim()
+                    .is_none_or(|v| die.ftl.block(v).valid_pages > 0)
+        });
+        if self.read_only && !(spares_exhausted || space_wedged) {
             record(
                 out,
                 Invariant::DriveHealth,
                 format!(
-                    "read_only={} but {retired} retired blocks against a spare budget of {}",
-                    self.read_only,
+                    "read_only=true but neither cause holds: {retired} retired blocks \
+                     against a spare budget of {} and no die is out of reclaimable space",
+                    self.config.spare_budget()
+                ),
+            );
+        }
+        if !self.read_only && spares_exhausted {
+            record(
+                out,
+                Invariant::DriveHealth,
+                format!(
+                    "read_only=false but {retired} retired blocks exhausted the spare \
+                     budget of {}",
                     self.config.spare_budget()
                 ),
             );

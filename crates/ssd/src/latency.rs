@@ -16,6 +16,38 @@ use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
+/// The tail percentiles bench tables report, fetched in one call via
+/// [`LatencyRecorder::tails`] so bins stop hand-rolling percentile lookups.
+///
+/// With fewer samples than a percentile resolves, values saturate to the
+/// maximum observed latency; an empty recorder yields all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TailLatencies {
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile, nanoseconds.
+    pub p99_9_ns: u64,
+    /// 99.99th percentile, nanoseconds.
+    pub p99_99_ns: u64,
+}
+
+impl TailLatencies {
+    /// 99th percentile in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.p99_ns as f64 / 1_000.0
+    }
+
+    /// 99.9th percentile in microseconds.
+    pub fn p99_9_us(&self) -> f64 {
+        self.p99_9_ns as f64 / 1_000.0
+    }
+
+    /// 99.99th percentile in microseconds.
+    pub fn p99_99_us(&self) -> f64 {
+        self.p99_99_ns as f64 / 1_000.0
+    }
+}
+
 /// Records per-request latencies (in nanoseconds) and computes percentiles.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct LatencyRecorder {
@@ -117,6 +149,19 @@ impl LatencyRecorder {
         )
     }
 
+    /// The p99 / p99.9 / p99.99 tails in one call. Zero for an empty
+    /// recorder; saturating to the maximum when samples are scarce.
+    pub fn tails(&self) -> TailLatencies {
+        if self.samples.is_empty() {
+            return TailLatencies::default();
+        }
+        TailLatencies {
+            p99_ns: self.percentile(99.0),
+            p99_9_ns: self.percentile(99.9),
+            p99_99_ns: self.percentile(99.99),
+        }
+    }
+
     /// Merges another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         self.samples.extend_from_slice(&other.samples);
@@ -153,6 +198,22 @@ mod tests {
         assert_eq!(p999, 100);
         assert_eq!(p9999, 100);
         assert_eq!(p999999, 100);
+    }
+
+    #[test]
+    fn tails_match_individual_percentile_calls() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100_000u64 {
+            r.record(i);
+        }
+        let tails = r.tails();
+        assert_eq!(tails.p99_ns, r.percentile(99.0));
+        assert_eq!(tails.p99_9_ns, r.percentile(99.9));
+        assert_eq!(tails.p99_99_ns, r.percentile(99.99));
+        assert_eq!(tails.p99_ns, 99_000);
+        assert_eq!(tails.p99_99_ns, 99_990);
+        assert!((tails.p99_us() - 99_000.0 / 1_000.0).abs() < 1e-9);
+        assert_eq!(LatencyRecorder::new().tails(), TailLatencies::default());
     }
 
     #[test]

@@ -84,6 +84,17 @@
 //! [`Simulation::crash_at`] models the power cut itself: it tears down a
 //! running session mid-workload, dropping queued requests the way a real
 //! power loss drops the in-flight queue.
+//!
+//! # Multi-tenant host interface
+//!
+//! The [`host`] module multiplexes several tenants onto one drive the way
+//! an NVMe host does: a [`host::HostInterface`] owns per-tenant submission
+//! queues (each fed by its own workload source, bounded by a per-queue
+//! depth) and merges them into the session event loop through a pluggable
+//! [`host::Arbiter`] — round-robin, weighted-share, or earliest-deadline.
+//! Completions are attributed back to their tenant with queueing delay
+//! split from device latency, filling the per-tenant
+//! [`report::TenantReport`] slices of the final [`RunReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -91,6 +102,7 @@
 pub mod audit;
 pub mod config;
 pub mod ftl;
+pub mod host;
 pub mod latency;
 pub mod persist;
 pub mod report;
@@ -100,10 +112,11 @@ pub mod ssd;
 
 pub use audit::{AuditReport, Auditor, Invariant, ShadowFtl, Violation};
 pub use config::SsdConfig;
-pub use latency::LatencyRecorder;
+pub use host::{Arbiter, HostInterface, QueueView, TenantConfig};
+pub use latency::{LatencyRecorder, TailLatencies};
 pub use persist::{
     apply_torn_write, PersistError, TornWrite, CHECKSUM_BYTES, FORMAT_VERSION, HEADER_BYTES, MAGIC,
 };
-pub use report::{ChannelStats, DriveHealth, RunReport};
+pub use report::{ChannelStats, DriveHealth, RunReport, TenantReport};
 pub use session::{CompletionStatus, SimObserver, Simulation};
 pub use ssd::Ssd;

@@ -3,7 +3,7 @@
 use aero_core::stats::EraseStats;
 use serde::{Deserialize, Serialize};
 
-use crate::latency::LatencyRecorder;
+use crate::latency::{LatencyRecorder, TailLatencies};
 
 /// Shared-bus accounting for one channel over one trace replay.
 ///
@@ -92,6 +92,70 @@ impl DriveHealth {
     }
 }
 
+/// One tenant's slice of a multi-tenant run, attributed by the host
+/// interface's completion routing.
+///
+/// Latency here is **end-to-end**: submission-queue waiting time plus
+/// device time, with the queueing component also recorded separately in
+/// `queue_delay` — a tenant with a fast device but a starved queue shows
+/// up as high end-to-end latency and high queue delay. All counters are
+/// run-local, like every other report counter.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant name as registered on the host interface.
+    pub name: String,
+    /// Read requests completed for this tenant.
+    pub reads_completed: u64,
+    /// Write requests completed for this tenant.
+    pub writes_completed: u64,
+    /// End-to-end per-request latencies (queueing delay + device time).
+    pub latency: LatencyRecorder,
+    /// Per-request submission-queue delays (time between arrival at the
+    /// host and submission to the device).
+    pub queue_delay: LatencyRecorder,
+    /// Requests the host submitted to the device for this tenant.
+    pub submitted: u64,
+    /// Arrivals dropped because the queue was full under a reject policy.
+    pub rejected: u64,
+    /// Arrivals that waited for a queue credit under backpressure (they
+    /// enqueued later than they arrived).
+    pub deferred: u64,
+    /// Deepest the tenant's submission queue ever got.
+    pub queue_depth_high_water: u64,
+    /// Most requests the tenant ever had outstanding on the device.
+    pub outstanding_high_water: u64,
+}
+
+impl TenantReport {
+    /// Requests completed for this tenant (reads + writes).
+    pub fn completed(&self) -> u64 {
+        self.reads_completed + self.writes_completed
+    }
+
+    /// The tenant's end-to-end p99 / p99.9 / p99.99 in one call.
+    pub fn tails(&self) -> TailLatencies {
+        self.latency.tails()
+    }
+
+    /// Mean end-to-end latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean() / 1_000.0
+    }
+
+    /// Mean submission-queue delay in microseconds.
+    pub fn mean_queue_delay_us(&self) -> f64 {
+        self.queue_delay.mean() / 1_000.0
+    }
+
+    /// The tenant's completions per second over the run's makespan.
+    pub fn iops(&self, makespan_ns: u64) -> f64 {
+        if makespan_ns == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 / (makespan_ns as f64 / 1e9)
+    }
+}
+
 /// Everything measured during one trace replay on a simulated SSD.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -122,6 +186,11 @@ pub struct RunReport {
     /// Drive-health telemetry: fault counts for this run and the drive's
     /// degradation state (retired blocks, spare headroom, read-only).
     pub health: DriveHealth,
+    /// Per-tenant slices when the run was driven through a
+    /// [`crate::host::HostInterface`], in tenant-registration order. Empty
+    /// for single-stream sessions, so existing report comparisons are
+    /// unaffected.
+    pub tenants: Vec<TenantReport>,
 }
 
 impl RunReport {
@@ -141,6 +210,21 @@ impl RunReport {
     /// Mean write latency in microseconds.
     pub fn mean_write_latency_us(&self) -> f64 {
         self.write_latency.mean() / 1_000.0
+    }
+
+    /// Drive-wide read p99 / p99.9 / p99.99 in one call.
+    pub fn read_tails(&self) -> TailLatencies {
+        self.read_latency.tails()
+    }
+
+    /// Drive-wide write p99 / p99.9 / p99.99 in one call.
+    pub fn write_tails(&self) -> TailLatencies {
+        self.write_latency.tails()
+    }
+
+    /// Looks up a tenant slice by its registered name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
     }
 
     /// Write amplification: physical page programs per logical page written
@@ -259,6 +343,39 @@ mod tests {
         ] {
             assert!(helper.is_finite());
         }
+    }
+
+    #[test]
+    fn tail_accessors_and_tenant_slices() {
+        let mut r = RunReport::default();
+        for i in 1..=1_000u64 {
+            r.read_latency.record(i * 1_000);
+        }
+        let tails = r.read_tails();
+        assert_eq!(tails.p99_ns, r.read_latency.percentile(99.0));
+        assert_eq!(tails.p99_99_ns, r.read_latency.percentile(99.99));
+        assert_eq!(r.write_tails(), TailLatencies::default());
+
+        // Empty tenant vector keeps default comparisons and lookups safe.
+        assert!(r.tenants.is_empty());
+        assert!(r.tenant("reader").is_none());
+
+        let mut tr = TenantReport {
+            name: "reader".to_string(),
+            reads_completed: 3,
+            writes_completed: 1,
+            submitted: 4,
+            ..TenantReport::default()
+        };
+        tr.latency.record(10_000);
+        tr.queue_delay.record(2_000);
+        assert_eq!(tr.completed(), 4);
+        assert!((tr.mean_latency_us() - 10.0).abs() < 1e-9);
+        assert!((tr.mean_queue_delay_us() - 2.0).abs() < 1e-9);
+        assert!((tr.iops(1_000_000_000) - 4.0).abs() < 1e-9);
+        assert_eq!(tr.iops(0), 0.0);
+        r.tenants.push(tr);
+        assert_eq!(r.tenant("reader").map(|t| t.completed()), Some(4));
     }
 
     #[test]

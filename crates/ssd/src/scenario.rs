@@ -29,11 +29,12 @@
 use std::fmt;
 
 use aero_nand::FaultConfig;
-use aero_workloads::fuzz::{CrashPlan, FuzzScenario};
+use aero_workloads::fuzz::{CrashPlan, FuzzScenario, MultiTenantPlan};
 use aero_workloads::IterSource;
 
 use crate::audit::{Auditor, CorruptionKind, Invariant, Violation, MAX_VIOLATIONS};
 use crate::config::SsdConfig;
+use crate::host::{HostInterface, TenantConfig};
 use crate::persist::{apply_torn_write, TornWrite};
 use crate::report::RunReport;
 use crate::ssd::Ssd;
@@ -72,6 +73,19 @@ pub struct ScenarioOutcome {
     pub writes_rejected_read_only: u64,
     /// Whether the drive ended the scenario in read-only degradation.
     pub read_only: bool,
+    /// Whether the scenario ran a multi-tenant contention phase (see
+    /// [`aero_workloads::fuzz::MultiTenantPlan`]).
+    pub multi_tenant: bool,
+    /// Requests completed through the host interface during the
+    /// multi-tenant phase (also included in `requests_completed`).
+    pub tenant_requests_completed: u64,
+    /// Arrivals shed at full reject-policy submission queues during the
+    /// multi-tenant phase (these never reach the drive, so they are *not*
+    /// in `requests_completed`).
+    pub tenant_rejected: u64,
+    /// Arrivals that waited for a queue credit under backpressure during
+    /// the multi-tenant phase.
+    pub tenant_deferred: u64,
 }
 
 /// A scenario run that violated an invariant or diverged from the oracle.
@@ -287,6 +301,74 @@ pub fn run_scenario_with(
         }
     }
 
+    // Multi-tenant contention phase: whatever request budget remains is
+    // spent through a host interface on the same aged, exercised drive,
+    // with the auditor/oracle still attached — arbitration and queueing
+    // must not perturb any FTL invariant.
+    let mut multi_tenant = false;
+    let mut tenant_requests_completed = 0u64;
+    let mut tenant_rejected = 0u64;
+    let mut tenant_deferred = 0u64;
+    if let Some(plan) = &scenario.tenants {
+        if budget > 0 {
+            let mut host =
+                HostInterface::new(plan.arbiter).with_device_slots(plan.device_slots as usize);
+            let mut expected = Vec::new();
+            for (index, tenant) in plan.tenants.iter().enumerate() {
+                let take = tenant.requests.min(budget);
+                if take == 0 {
+                    break;
+                }
+                budget -= take;
+                issued += take;
+                expected.push(take);
+                let config = TenantConfig::new(&format!("tenant{index}"))
+                    .with_weight(tenant.weight)
+                    .with_queue_depth(tenant.queue_depth as usize)
+                    .with_deadline_ns(tenant.deadline_ns)
+                    .with_on_full(tenant.on_full);
+                host.add_tenant(
+                    config,
+                    IterSource::new(tenant.workload.stream(tenant.seed).take(take as usize)),
+                );
+            }
+            if host.tenant_count() > 0 {
+                multi_tenant = true;
+                // Test-support corruption whose completion threshold was
+                // already crossed by the session phases lands before the
+                // contended run, so the attached auditor catches it mid-run.
+                if let Some((after, kind)) = corruption {
+                    if completed_before >= after {
+                        ssd.debug_corrupt(kind);
+                        corruption = None;
+                    }
+                }
+                let report = host.run_with(&mut ssd, Some(&mut auditor));
+                let mut sanity = Vec::new();
+                check_report_sanity(&report, "multi-tenant report", &mut sanity);
+                check_tenant_sanity(&report, &expected, plan, &mut sanity);
+                absorb(&mut auditor, sanity);
+                if !auditor.is_clean() {
+                    return Err(failure(scenario, issued, &auditor));
+                }
+                for slice in &report.tenants {
+                    tenant_requests_completed += slice.completed();
+                    tenant_rejected += slice.rejected;
+                    tenant_deferred += slice.deferred;
+                }
+                completed_before += tenant_requests_completed;
+                // A threshold crossed *inside* the contended run injects
+                // here; the final checkpoint below then reports it. (No
+                // need to clear `corruption` — the run ends after this.)
+                if let Some((after, kind)) = corruption {
+                    if completed_before >= after {
+                        ssd.debug_corrupt(kind);
+                    }
+                }
+            }
+        }
+    }
+
     // Final whole-scenario checkpoint on the quiesced drive.
     auditor.checkpoint(&ssd);
     if !auditor.is_clean() {
@@ -306,7 +388,100 @@ pub fn run_scenario_with(
         recovered_reads: ssd.read_retry_histogram[1..].iter().sum(),
         writes_rejected_read_only: ssd.writes_rejected,
         read_only: ssd.read_only(),
+        multi_tenant,
+        tenant_requests_completed,
+        tenant_rejected,
+        tenant_deferred,
     })
+}
+
+/// Multi-tenant accounting invariants: every tenant arrival is accounted
+/// for (completed + rejected = issued), submissions all complete, the
+/// host's configured bounds (queue depth, device slots) were respected,
+/// and the per-tenant metrics are finite.
+fn check_tenant_sanity(
+    report: &RunReport,
+    expected: &[u64],
+    plan: &MultiTenantPlan,
+    out: &mut Vec<Violation>,
+) {
+    if report.tenants.len() != expected.len() {
+        out.push(Violation::new(
+            Invariant::ReportSanity,
+            format!(
+                "multi-tenant report has {} slices for {} tenants",
+                report.tenants.len(),
+                expected.len()
+            ),
+        ));
+        return;
+    }
+    for (index, (slice, &take)) in report.tenants.iter().zip(expected).enumerate() {
+        if slice.completed() + slice.rejected != take {
+            out.push(Violation::new(
+                Invariant::InFlight,
+                format!(
+                    "tenant {index}: {} completed + {} rejected of {take} issued",
+                    slice.completed(),
+                    slice.rejected
+                ),
+            ));
+        }
+        if slice.submitted != slice.completed() {
+            out.push(Violation::new(
+                Invariant::InFlight,
+                format!(
+                    "tenant {index}: {} submitted but {} completed",
+                    slice.submitted,
+                    slice.completed()
+                ),
+            ));
+        }
+        if slice.latency.len() as u64 != slice.completed()
+            || slice.queue_delay.len() as u64 != slice.completed()
+        {
+            out.push(Violation::new(
+                Invariant::ReportSanity,
+                format!(
+                    "tenant {index}: {} latency / {} queue-delay samples for {} completions",
+                    slice.latency.len(),
+                    slice.queue_delay.len(),
+                    slice.completed()
+                ),
+            ));
+        }
+        if let Some(tenant) = plan.tenants.get(index) {
+            if slice.queue_depth_high_water > tenant.queue_depth as u64 {
+                out.push(Violation::new(
+                    Invariant::InFlight,
+                    format!(
+                        "tenant {index}: queue high-water {} exceeds depth {}",
+                        slice.queue_depth_high_water, tenant.queue_depth
+                    ),
+                ));
+            }
+        }
+        if slice.outstanding_high_water > plan.device_slots as u64 {
+            out.push(Violation::new(
+                Invariant::InFlight,
+                format!(
+                    "tenant {index}: outstanding high-water {} exceeds {} device slots",
+                    slice.outstanding_high_water, plan.device_slots
+                ),
+            ));
+        }
+        for (name, value) in [
+            ("mean_latency_us", slice.mean_latency_us()),
+            ("mean_queue_delay_us", slice.mean_queue_delay_us()),
+        ] {
+            if !value.is_finite() {
+                out.push(Violation::new(
+                    Invariant::ReportSanity,
+                    format!("tenant {index}: {name} is {value}"),
+                ));
+            }
+        }
+    }
 }
 
 /// The crash plan's snapshot/torn-write/restore cycle, run on the
@@ -465,9 +640,39 @@ mod tests {
     fn a_scenario_runs_clean_and_reports_work() {
         let sc = scenario(3);
         let outcome = run_scenario(&sc).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(outcome.requests_completed, sc.total_requests());
+        // Reject-policy tenants may legitimately shed arrivals; everything
+        // else must complete.
+        assert_eq!(
+            outcome.requests_completed + outcome.tenant_rejected,
+            sc.total_requests()
+        );
         assert_eq!(outcome.sessions_run, sc.sessions.len());
         assert!(outcome.checkpoints > 0, "checkpoints must fire");
+        assert_eq!(outcome.multi_tenant, sc.tenants.is_some());
+    }
+
+    /// A seed with a multi-tenant plan runs the contention phase under the
+    /// auditor/oracle, attributes every tenant request, and accounts for
+    /// rejected arrivals exactly.
+    #[test]
+    fn multi_tenant_scenarios_run_under_the_auditor() {
+        let sc = (0..64u64)
+            .map(scenario)
+            .find(|s| s.tenants.is_some())
+            .expect("some seed draws a multi-tenant plan");
+        let plan_total = sc.tenants.as_ref().map(MultiTenantPlan::total_requests);
+        let outcome = run_scenario(&sc).unwrap_or_else(|f| panic!("{f}"));
+        assert!(outcome.multi_tenant);
+        assert!(outcome.tenant_requests_completed > 0);
+        assert_eq!(
+            Some(outcome.tenant_requests_completed + outcome.tenant_rejected),
+            plan_total,
+            "every tenant arrival is completed or rejected"
+        );
+        assert_eq!(
+            outcome.requests_completed + outcome.tenant_rejected,
+            sc.total_requests()
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ use aero_workloads::source::WorkloadSource;
 use crate::audit::{record, AuditReport, Auditor, Invariant, Violation};
 use crate::ftl::Ppa;
 use crate::latency::LatencyRecorder;
-use crate::report::{ChannelStats, DriveHealth, RunReport};
+use crate::report::{ChannelStats, DriveHealth, RunReport, TenantReport};
 use crate::ssd::{EraseJob, PageTxn, PlacedWrite, Ssd};
 
 /// How a request completed: normally, or degraded through the drive's
@@ -202,6 +202,25 @@ struct InFlight {
     /// Worst per-page completion status seen so far (`Ord`: `Ok` <
     /// `DriveReadOnly` < `MediaError`).
     status: CompletionStatus,
+    /// Tenant the request is attributed to (0 for single-stream sessions,
+    /// where tenant tracking is off and the value is never read).
+    tenant: u16,
+    /// Time the request spent in its host submission queue before the
+    /// session saw it (0 for single-stream sessions). `arrival_ns` is the
+    /// submission time, so end-to-end latency is device latency plus this.
+    queued_ns: u64,
+}
+
+/// Per-tenant measurement accumulators, maintained only when the session
+/// is driven through a [`crate::host::HostInterface`].
+#[derive(Debug, Default, Clone)]
+struct TenantAccum {
+    reads_completed: u64,
+    writes_completed: u64,
+    /// End-to-end latencies: submission-queue delay + device time.
+    latency: LatencyRecorder,
+    /// Submission-queue delays alone.
+    queue_delay: LatencyRecorder,
 }
 
 /// A streaming simulation run over a borrowed [`Ssd`].
@@ -268,6 +287,14 @@ pub struct Simulation<'a, S> {
     /// Simulated time at which the drive transitioned to read-only during
     /// this run (`None` if it never did, or already was at session start).
     read_only_since_ns: Option<u64>,
+    /// Per-tenant accumulators; empty unless a host interface enabled
+    /// tenant tracking, so single-stream sessions pay nothing.
+    tenant_stats: Vec<TenantAccum>,
+    /// Completion log `(completed_at, tenant)` the host interface drains to
+    /// learn when device slots free up; only fed while tenant tracking is
+    /// on. Entries are recorded at dispatch time (when `completed_at`
+    /// becomes known), which always precedes the completion itself.
+    host_completions: Vec<(u64, u16)>,
 }
 
 impl<'a, S: WorkloadSource> Simulation<'a, S> {
@@ -319,6 +346,8 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             baseline_writes_rejected,
             run_max_erase_latency: Micros::ZERO,
             read_only_since_ns: None,
+            tenant_stats: Vec::new(),
+            host_completions: Vec::new(),
         };
         // A completed run always drains every queue, so this only fires for
         // dies an abandoned session left mid-work; their internal traffic
@@ -807,7 +836,75 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 read_only: self.ssd.read_only,
                 read_only_since_ns: self.read_only_since_ns,
             },
+            // Session-side tenant slices: completion counts and latency
+            // recorders. Host-side counters (submitted/rejected/deferred,
+            // high-water marks) are filled in by the host interface, which
+            // owns the queues.
+            tenants: self
+                .tenant_stats
+                .iter()
+                .map(|accum| TenantReport {
+                    name: String::new(),
+                    reads_completed: accum.reads_completed,
+                    writes_completed: accum.writes_completed,
+                    latency: accum.latency.clone(),
+                    queue_delay: accum.queue_delay.clone(),
+                    submitted: 0,
+                    rejected: 0,
+                    deferred: 0,
+                    queue_depth_high_water: 0,
+                    outstanding_high_water: 0,
+                })
+                .collect(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Host-interface plumbing (crate::host)
+    // ------------------------------------------------------------------
+
+    /// Turns on per-tenant accounting for `tenants` tenants. Called once by
+    /// the host interface before any submission; from then on completions
+    /// are attributed to tenant slices and logged for the host to drain.
+    pub(crate) fn enable_tenant_tracking(&mut self, tenants: usize) {
+        self.tenant_stats = vec![TenantAccum::default(); tenants];
+    }
+
+    /// Timestamp of the next internal event (request arrival or die
+    /// wake-up), or `None` when the session is idle. The host pump uses
+    /// this to interleave device progress with its own submission clock.
+    pub(crate) fn next_event_at(&mut self) -> Option<u64> {
+        let arrival = self.peek_arrival().map(|r| r.arrival_ns);
+        let die = self.events.peek().map(|&Reverse((at, _))| at);
+        match (arrival, die) {
+            (Some(a), Some(d)) => Some(a.min(d)),
+            (Some(a), None) => Some(a),
+            (None, Some(d)) => Some(d),
+            (None, None) => None,
+        }
+    }
+
+    /// Moves the logged `(completed_at, tenant)` completion records into
+    /// `out` (appending), leaving the internal log empty.
+    pub(crate) fn drain_host_completions(&mut self, out: &mut Vec<(u64, u16)>) {
+        out.append(&mut self.host_completions);
+    }
+
+    /// Submits a host-queued request to the device at `submit_ns`. The
+    /// request's original `arrival_ns` is when it entered its submission
+    /// queue; the gap to `submit_ns` is recorded as queueing delay and the
+    /// request is admitted as if it arrived at submission time, so the
+    /// drive-wide recorders measure pure device latency while the tenant
+    /// slice gets the end-to-end number.
+    pub(crate) fn admit_from_host(&mut self, mut request: IoRequest, tenant: u16, submit_ns: u64) {
+        debug_assert!(
+            submit_ns >= request.arrival_ns,
+            "host submitted a request before it arrived"
+        );
+        let queued_ns = submit_ns.saturating_sub(request.arrival_ns);
+        request.arrival_ns = submit_ns;
+        self.now = self.now.max(submit_ns);
+        self.admit_tagged(request, tenant, queued_ns);
     }
 
     // ------------------------------------------------------------------
@@ -838,6 +935,13 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
     /// Admits one arriving request: registers it in the in-flight map and
     /// enqueues its page transactions on their dies.
     fn admit(&mut self, request: IoRequest) {
+        self.admit_tagged(request, 0, 0);
+    }
+
+    /// [`Simulation::admit`] with tenant attribution: the request is tagged
+    /// with its tenant and the time it already spent in a host submission
+    /// queue (both 0 on the single-stream path).
+    fn admit_tagged(&mut self, request: IoRequest, tenant: u16, queued_ns: u64) {
         let now = request.arrival_ns;
         let pages = request.page_count(self.page_bytes);
         let first_page = request.first_page(self.page_bytes);
@@ -854,6 +958,8 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             remaining_pages: pages,
             completed_at: 0,
             status: CompletionStatus::Ok,
+            tenant,
+            queued_ns,
         }));
         self.in_flight_live += 1;
         for p in 0..pages {
@@ -1036,16 +1142,30 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 self.ssd.dies[die_idx].user_writes.push_front(txn);
                 self.start_gc_if_needed(die_idx, now);
                 if !self.dispatch_gc_or_erase(die_idx, now) {
-                    // Nothing to reclaim either; drop the page write to avoid
-                    // deadlock (only reachable on pathologically small
-                    // configurations). The host transfer still happened.
+                    // Dead end: the die has no free page slots, no erase in
+                    // flight, and no feasible GC victim (every Full block
+                    // carries more live pages than the die has slots left —
+                    // fault-injected program failures can burn the slack
+                    // past the rescue reserve). No future event can free
+                    // space here: overwrites that would invalidate victim
+                    // pages are stuck behind this very write. A drive that
+                    // can no longer reclaim space has failed for writes, so
+                    // trip the same read-only degradation as spare
+                    // exhaustion; the queued write (and all after it)
+                    // completes as `DriveReadOnly` while reads keep serving.
+                    if !self.ssd.read_only {
+                        self.ssd.read_only = true;
+                        self.ssd.read_only_user_pages_written = self.ssd.user_pages_written;
+                        self.read_only_since_ns = Some(now);
+                    }
                     let txn = self.ssd.dies[die_idx]
                         .user_writes
                         .pop_front()
                         // aero-lint: allow(D4, the same transaction was push_front'ed two lines up)
                         .expect("just requeued");
+                    self.ssd.writes_rejected += 1;
                     let done = self.ssd.channels[channel_idx].reserve(now, transfer) + transfer;
-                    self.complete_page(txn, done, CompletionStatus::Ok);
+                    self.complete_page(txn, done, CompletionStatus::DriveReadOnly);
                     self.make_busy(die_idx, now, done - now);
                 }
             }
@@ -1287,6 +1407,18 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 self.write_latency.record(latency);
             }
         }
+        if let Some(accum) = self.tenant_stats.get_mut(state.tenant as usize) {
+            match state.op {
+                IoOp::Read => accum.reads_completed += 1,
+                IoOp::Write => accum.writes_completed += 1,
+            }
+            accum
+                .latency
+                .record(latency.saturating_add(state.queued_ns));
+            accum.queue_delay.record(state.queued_ns);
+            self.host_completions
+                .push((state.completed_at, state.tenant));
+        }
         self.makespan_ns = self.makespan_ns.max(state.completed_at);
         if !self.observers.is_empty() {
             let event = CompletedRequest {
@@ -1321,6 +1453,8 @@ mod tests {
             remaining_pages: 1,
             completed_at: 0,
             status: CompletionStatus::Ok,
+            tenant: 0,
+            queued_ns: 0,
         }
     }
 

@@ -33,6 +33,7 @@ use serde::{Deserialize, Serialize};
 use crate::request::IoRequest;
 use crate::source::WorkloadSource;
 use crate::synth::{SyntheticStream, SyntheticWorkload};
+use crate::tenant::{ArbiterKind, QueueFullPolicy};
 
 /// Channel layouts the fuzzer rotates through (channels × chips per
 /// channel): private buses, one fully shared bus, and mixed layouts, at
@@ -143,6 +144,50 @@ pub struct FaultPlan {
     pub min_fill_percent: u32,
 }
 
+/// One tenant of a multi-tenant plan: its host-interface queue knobs plus
+/// the synthetic workload feeding its submission queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantPlan {
+    /// Weighted-share arbitration weight (≥ 1).
+    pub weight: u32,
+    /// Submission-queue depth limit.
+    pub queue_depth: u32,
+    /// What the queue does with arrivals once it is full.
+    pub on_full: QueueFullPolicy,
+    /// Deadline offset for earliest-deadline arbitration, in nanoseconds
+    /// past each request's arrival.
+    pub deadline_ns: u64,
+    /// The workload feeding this tenant's queue.
+    pub workload: SyntheticWorkload,
+    /// Number of requests the tenant issues.
+    pub requests: u64,
+    /// Seed of the tenant's request stream.
+    pub seed: u64,
+}
+
+/// A multi-tenant contention phase run after a scenario's sessions: several
+/// tenants push their own workloads through a host interface onto the same
+/// (already aged and exercised) drive, under one arbitration policy.
+///
+/// Like the session plans this is a pure description; `aero_ssd::scenario`
+/// builds the `HostInterface` and runs it under the auditor/oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenantPlan {
+    /// The arbitration policy merging the tenant queues.
+    pub arbiter: ArbiterKind,
+    /// Total requests the device accepts in flight across all tenants.
+    pub device_slots: u32,
+    /// The tenants, in registration order.
+    pub tenants: Vec<TenantPlan>,
+}
+
+impl MultiTenantPlan {
+    /// Total requests across all tenants.
+    pub fn total_requests(&self) -> u64 {
+        self.tenants.iter().map(|t| t.requests).sum()
+    }
+}
+
 /// A complete seeded fuzz scenario: drive knobs plus back-to-back session
 /// plans. Produced by [`scenario`]; executed by `aero_ssd::scenario`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -173,12 +218,21 @@ pub struct FuzzScenario {
     /// When `Some`, the drive runs under an active NAND fault model for the
     /// whole scenario.
     pub fault: Option<FaultPlan>,
+    /// When `Some`, a multi-tenant contention phase runs after the sessions:
+    /// several tenants push workloads through a host interface onto the
+    /// same drive under the plan's arbitration policy.
+    pub tenants: Option<MultiTenantPlan>,
 }
 
 impl FuzzScenario {
-    /// Total requests across all sessions.
+    /// Total requests across all sessions and the multi-tenant phase.
     pub fn total_requests(&self) -> u64 {
-        self.sessions.iter().map(SessionPlan::total_requests).sum()
+        let sessions: u64 = self.sessions.iter().map(SessionPlan::total_requests).sum();
+        sessions
+            + self
+                .tenants
+                .as_ref()
+                .map_or(0, MultiTenantPlan::total_requests)
     }
 }
 
@@ -251,6 +305,15 @@ pub fn scenario(seed: u64) -> FuzzScenario {
         None
     };
 
+    // The multi-tenant draw comes last, after every pre-existing draw, so
+    // the sessions/crash/fault of historical seeds stay byte-identical:
+    // contention is purely additive to what a seed already meant.
+    let tenants = if rng.gen::<f64>() < 0.35 {
+        Some(multi_tenant_plan(&mut rng))
+    } else {
+        None
+    };
+
     FuzzScenario {
         seed,
         scheme,
@@ -263,6 +326,44 @@ pub fn scenario(seed: u64) -> FuzzScenario {
         sessions,
         crash,
         fault,
+        tenants,
+    }
+}
+
+/// Draws one multi-tenant plan: 2–4 tenants with independent workloads and
+/// queue knobs, merged under a random arbitration policy. Device slots stay
+/// small relative to queue depths so arbitration decisions actually matter.
+fn multi_tenant_plan(rng: &mut ChaCha12Rng) -> MultiTenantPlan {
+    let arbiter = ArbiterKind::all()[rng.gen_range(0..ArbiterKind::all().len())];
+    let device_slots = rng.gen_range(2..=16u32);
+    let tenant_count = rng.gen_range(2..=4usize);
+    let mut tenants = Vec::with_capacity(tenant_count);
+    for _ in 0..tenant_count {
+        let weight = rng.gen_range(1..=8);
+        let queue_depth = rng.gen_range(2..=32);
+        let on_full = if rng.gen::<f64>() < 0.25 {
+            QueueFullPolicy::Reject
+        } else {
+            QueueFullPolicy::Backpressure
+        };
+        let deadline_ns = rng.gen_range(200_000..=20_000_000);
+        let workload = phase_workload(rng);
+        let requests = rng.gen_range(40..=200u64);
+        let seed = rng.gen::<u64>();
+        tenants.push(TenantPlan {
+            weight,
+            queue_depth,
+            on_full,
+            deadline_ns,
+            workload,
+            requests,
+            seed,
+        });
+    }
+    MultiTenantPlan {
+        arbiter,
+        device_slots,
+        tenants,
     }
 }
 
@@ -386,7 +487,9 @@ mod tests {
             let sc = scenario(seed);
             assert!(!sc.sessions.is_empty(), "seed {seed}: no sessions");
             assert!(sc.total_requests() >= 40, "seed {seed}: too few requests");
-            assert!(sc.total_requests() <= 1100, "seed {seed}: budget overrun");
+            // Sessions are budgeted at ≤ 1100; a multi-tenant plan adds at
+            // most 4 × 200 requests on top.
+            assert!(sc.total_requests() <= 1900, "seed {seed}: budget overrun");
             assert!(sc.audit_every_events > 0);
             assert!((0.0..0.9).contains(&sc.fill_fraction));
             for session in &sc.sessions {
@@ -415,6 +518,20 @@ mod tests {
                 assert!(fault.read_fault_per_million < 100_000, "seed {seed}");
                 assert!((1..=4).contains(&fault.spare_blocks_per_die), "seed {seed}");
                 assert!((70..=88).contains(&fault.min_fill_percent), "seed {seed}");
+            }
+            if let Some(plan) = &sc.tenants {
+                assert!((2..=4).contains(&plan.tenants.len()), "seed {seed}");
+                assert!((2..=16).contains(&plan.device_slots), "seed {seed}");
+                for tenant in &plan.tenants {
+                    assert!((1..=8).contains(&tenant.weight), "seed {seed}");
+                    assert!((2..=32).contains(&tenant.queue_depth), "seed {seed}");
+                    assert!(
+                        (200_000..=20_000_000).contains(&tenant.deadline_ns),
+                        "seed {seed}"
+                    );
+                    assert!((40..=200).contains(&tenant.requests), "seed {seed}");
+                    tenant.workload.validate();
+                }
             }
         }
     }
@@ -457,6 +574,7 @@ mod tests {
             assert_eq!(forced.sessions, base.sessions, "seed {seed}");
             assert_eq!(forced.crash, base.crash, "seed {seed}");
             assert_eq!(forced.scheme, base.scheme, "seed {seed}");
+            assert_eq!(forced.tenants, base.tenants, "seed {seed}");
             if base.fault.is_some() {
                 assert_eq!(forced.fault, base.fault, "seed {seed}");
             }
@@ -464,6 +582,40 @@ mod tests {
             assert!((70..=88).contains(&fault.min_fill_percent), "seed {seed}");
             assert!((1..=4).contains(&fault.spare_blocks_per_die), "seed {seed}");
         }
+    }
+
+    /// Roughly a third of seeds must carry a multi-tenant contention
+    /// phase, and across the seed space the plans must cover all three
+    /// arbitration policies, both queue-full policies, and combine with
+    /// faults (contended drives that are also retiring blocks).
+    #[test]
+    fn multi_tenant_plans_cover_the_seed_space() {
+        let scenarios: Vec<FuzzScenario> = (0..128u64).map(scenario).collect();
+        let contended: Vec<&MultiTenantPlan> = scenarios
+            .iter()
+            .filter_map(|s| s.tenants.as_ref())
+            .collect();
+        assert!(
+            (25..=75).contains(&contended.len()),
+            "tenant draw skewed: {}/128",
+            contended.len()
+        );
+        let mut arbiters = HashSet::new();
+        let mut policies = HashSet::new();
+        for plan in &contended {
+            arbiters.insert(plan.arbiter.label());
+            for tenant in &plan.tenants {
+                policies.insert(tenant.on_full == QueueFullPolicy::Reject);
+            }
+        }
+        assert_eq!(arbiters.len(), 3, "arbiter coverage: {arbiters:?}");
+        assert_eq!(policies.len(), 2, "queue-full policy coverage");
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.tenants.is_some() && s.fault.is_some()),
+            "no seed combines contention with an active fault model"
+        );
     }
 
     /// The crash phase must actually occur across the seed space, in both

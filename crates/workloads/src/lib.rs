@@ -22,8 +22,11 @@
 //! * [`precondition`] — sequential fill workloads used to bring a simulated
 //!   SSD to a steady utilization before measurement;
 //! * [`fuzz`] — deterministic seeded scenario generation (schemes ×
-//!   layouts × wear × multi-phase sessions) for the simulator's
-//!   audit-driven scenario fuzzer.
+//!   layouts × wear × multi-phase sessions × multi-tenant plans) for the
+//!   simulator's audit-driven scenario fuzzer;
+//! * [`tenant`] — multi-tenant tagging and policy descriptions
+//!   ([`TenantId`], [`ArbiterKind`], [`QueueFullPolicy`]) consumed by the
+//!   simulator's host-interface layer.
 //!
 //! Workloads can be **materialized** (a [`Trace`] holding every request) or
 //! **streamed** (a [`WorkloadSource`] yielding requests one at a time with
@@ -51,10 +54,12 @@ pub mod precondition;
 pub mod request;
 pub mod source;
 pub mod synth;
+pub mod tenant;
 pub mod trace;
 
 pub use catalog::{WorkloadId, WorkloadSpec};
-pub use fuzz::{CrashPlan, FuzzScenario, PhasePlan, SessionPlan};
+pub use fuzz::{CrashPlan, FuzzScenario, MultiTenantPlan, PhasePlan, SessionPlan, TenantPlan};
 pub use request::{IoOp, IoRequest, Trace};
 pub use source::{IterSource, TraceSource, WorkloadSource};
 pub use synth::{SyntheticStream, SyntheticWorkload};
+pub use tenant::{ArbiterKind, QueueFullPolicy, TenantId};

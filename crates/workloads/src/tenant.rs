@@ -1,0 +1,109 @@
+//! Multi-tenant workload tagging: tenant identities and host-interface
+//! policy descriptions.
+//!
+//! A real drive serves many tenants multiplexed onto one device through
+//! per-tenant NVMe submission queues. This module holds the *descriptive*
+//! half of that picture — the [`TenantId`] a request stream is tagged with,
+//! the [`ArbiterKind`] naming a queue-arbitration policy, and the
+//! [`QueueFullPolicy`] describing what happens when a tenant saturates its
+//! submission queue — so workload generators and the scenario fuzzer can
+//! talk about multi-tenant plans without depending on the simulator. The
+//! executable half (the `HostInterface` that owns the queues and merges
+//! them into a session) lives in `aero_ssd::host`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one tenant (one submission queue) on a host interface.
+///
+/// Ids are dense indices handed out in tenant-registration order, so they
+/// double as indices into per-tenant report slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TenantId(pub u16);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// The queue-arbitration policies a host interface can run.
+///
+/// All three derive their decisions purely from simulated time and queue
+/// state, so arbitration is deterministic at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ArbiterKind {
+    /// Cycle through the non-empty queues in tenant order.
+    RoundRobin,
+    /// Pick the eligible tenant with the smallest `submitted / weight`
+    /// virtual time, so submission slots divide proportionally to weights.
+    WeightedShare,
+    /// Pick the eligible tenant whose queue head has the earliest deadline
+    /// (its arrival time plus the tenant's configured deadline).
+    EarliestDeadline,
+}
+
+impl ArbiterKind {
+    /// Every policy, in sweep order.
+    pub fn all() -> [ArbiterKind; 3] {
+        [
+            ArbiterKind::RoundRobin,
+            ArbiterKind::WeightedShare,
+            ArbiterKind::EarliestDeadline,
+        ]
+    }
+
+    /// Short label used in tables and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbiterKind::RoundRobin => "round-robin",
+            ArbiterKind::WeightedShare => "weighted-share",
+            ArbiterKind::EarliestDeadline => "earliest-deadline",
+        }
+    }
+}
+
+impl fmt::Display for ArbiterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a submission queue does with an arrival when it is already at its
+/// configured depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueFullPolicy {
+    /// The arrival stays in its source until a queue credit frees up; it is
+    /// counted as *deferred* when it finally enqueues later than it
+    /// arrived. A saturating tenant backpressures instead of flooding the
+    /// device.
+    Backpressure,
+    /// The arrival is consumed and dropped, counted as *rejected*. Models a
+    /// host that sheds load instead of queueing it.
+    Reject,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_ids_format_and_order() {
+        assert_eq!(TenantId(0).to_string(), "tenant0");
+        assert_eq!(TenantId(7).to_string(), "tenant7");
+        assert!(TenantId(1) < TenantId(2));
+    }
+
+    #[test]
+    fn arbiter_kinds_have_distinct_labels() {
+        let labels: Vec<&str> = ArbiterKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 3);
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(ArbiterKind::RoundRobin.to_string(), "round-robin");
+    }
+}

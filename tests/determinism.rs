@@ -10,6 +10,7 @@
 //! manipulation lives in a single `#[test]` function — two tests toggling
 //! it concurrently would trample each other.
 
+use aero::bench::interference::interference_study;
 use aero::bench::system::{channel_sweep, run_ssd, table4, RunParams};
 use aero::bench::Scale;
 use aero::core::SchemeKind;
@@ -87,7 +88,7 @@ fn faulted_sweep() -> Vec<ScenarioOutcome> {
 #[test]
 fn sweeps_are_byte_identical_across_thread_counts() {
     // Reference: everything on one thread, as with AERO_THREADS=1.
-    let (sweep_one, streamed_one, table_one, channels_one, faulted_one) = {
+    let (sweep_one, streamed_one, table_one, channels_one, faulted_one, interference_one) = {
         let _guard = aero::exec::override_threads(1);
         (
             sweep(),
@@ -95,6 +96,7 @@ fn sweeps_are_byte_identical_across_thread_counts() {
             table4(Scale::Quick),
             channel_sweep(Scale::Quick),
             faulted_sweep(),
+            interference_study(Scale::Quick),
         )
     };
     // The faulted reference must actually exercise the fault machinery,
@@ -120,13 +122,14 @@ fn sweeps_are_byte_identical_across_thread_counts() {
     // check); so must the channel-count sensitivity sweep, whose runs
     // exercise shared-bus arbitration directly, and the raw streaming
     // session path (lazy sources + mid-run snapshots).
-    let (streamed_eight, table_eight, channels_eight, faulted_eight) = {
+    let (streamed_eight, table_eight, channels_eight, faulted_eight, interference_eight) = {
         let _guard = aero::exec::override_threads(8);
         (
             streamed_sweep(),
             table4(Scale::Quick),
             channel_sweep(Scale::Quick),
             faulted_sweep(),
+            interference_study(Scale::Quick),
         )
     };
     assert_eq!(
@@ -144,5 +147,13 @@ fn sweeps_are_byte_identical_across_thread_counts() {
     assert_eq!(
         faulted_one, faulted_eight,
         "fault-injected scenario sweep diverged between 1 and 8 threads"
+    );
+    // The multi-tenant interference study layers host-side arbitration on
+    // top of the simulator; arbitration decisions derive only from simulated
+    // time and queue state, so its rendered per-tenant table must also be
+    // byte-identical at any thread count.
+    assert_eq!(
+        interference_one, interference_eight,
+        "interference_study quick-scale output diverged between 1 and 8 threads"
     );
 }
