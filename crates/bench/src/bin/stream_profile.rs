@@ -1,0 +1,99 @@
+//! Profiling harness for the streamed session hot path: one saturating
+//! synthetic run, three timed rounds, with the telemetry strategy chosen
+//! per mode so the cost of each observation path can be read off directly.
+//!
+//! Usage: `cargo run --release -p aero-bench --bin stream_profile [requests [mode]]`
+//!
+//! Modes (second argument):
+//! - *(empty)* — bare `run_until(u64::MAX - 1)`, no mid-run telemetry: the
+//!   event-loop ceiling.
+//! - `windows` — 10-simulated-second `run_until` windows, no sampling: the
+//!   cost of windowed stepping itself.
+//! - `light` — windows + the cheap telemetry pair (`snapshot_shell()` plus
+//!   a borrowed `read_latency().percentile(99.9)`): what `perf_report`'s
+//!   time-series loop pays.
+//! - `shell` — windows + a full `snapshot()` (clones latency sample
+//!   history): the owned-report path.
+//! - `snap` — `shell` plus a percentile query on the cloned report.
+
+use std::time::Instant;
+
+use aero_core::config::SchemeKind;
+use aero_ssd::{Ssd, SsdConfig};
+use aero_workloads::IterSource;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let mode = std::env::args().nth(2).unwrap_or_default();
+    for round in 0..3 {
+        let mut ssd = Ssd::new(
+            SsdConfig::small_test(SchemeKind::Aero)
+                .with_seed(0xA11CE)
+                .with_spare_blocks(16),
+        );
+        ssd.fill_fraction(0.6);
+        let workload = aero_workloads::SyntheticWorkload {
+            read_ratio: 0.5,
+            mean_request_bytes: 16.0 * 1024.0,
+            mean_inter_arrival_ns: 100_000.0,
+            footprint_bytes: 4 << 20,
+            hot_access_fraction: 0.8,
+            hot_region_fraction: 0.2,
+        };
+        let start = Instant::now();
+        let mut sim = ssd.session(IterSource::new(workload.stream(0xA11CE).take(n)));
+        match mode.as_str() {
+            "snap" => loop {
+                let target = sim.now().saturating_add(10_000_000_000);
+                sim.run_until(target);
+                let snap = sim.snapshot();
+                let _ = snap.read_latency.percentile(99.9);
+                if sim.is_finished() {
+                    break;
+                }
+            },
+            "windows" => loop {
+                let target = sim.now().saturating_add(10_000_000_000);
+                sim.run_until(target);
+                if sim.is_finished() {
+                    break;
+                }
+            },
+            "light" => loop {
+                let target = sim.now().saturating_add(10_000_000_000);
+                sim.run_until(target);
+                let snap = sim.snapshot_shell();
+                let _ = sim.read_latency().percentile(99.9);
+                std::hint::black_box(&snap);
+                if sim.is_finished() {
+                    break;
+                }
+            },
+            "shell" => loop {
+                let target = sim.now().saturating_add(10_000_000_000);
+                sim.run_until(target);
+                let snap = sim.snapshot();
+                std::hint::black_box(&snap);
+                if sim.is_finished() {
+                    break;
+                }
+            },
+            _ => {
+                sim.run_until(u64::MAX - 1);
+            }
+        }
+        let report = sim.run_to_end();
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!(
+            "round {round}: {} req in {:.3}s = {:.2}M req/s (gc={} erases={})",
+            report.reads_completed + report.writes_completed,
+            wall,
+            n as f64 / wall / 1e6,
+            report.gc_invocations,
+            report.erase_stats.operations,
+        );
+    }
+}

@@ -57,11 +57,14 @@ pub struct LatencyRecorder {
     sum_ns: u64,
     /// Running maximum, for O(1) max queries.
     max_ns: u64,
-    /// Lazily rebuilt sorted copy of `samples`. Valid iff its length matches
-    /// `samples` (samples are only ever appended, never removed). Interior
-    /// mutability keeps percentile queries on `&self`; `RefCell` makes the
-    /// recorder `!Sync`, so the compiler still rules out cross-thread races
-    /// on the cache.
+    /// Lazily maintained sorted copy of the first `cache.len()` samples.
+    /// Samples are only ever appended, never removed, so the cache is
+    /// always a sorted multiset of a prefix of `samples`; a query sorts
+    /// just the new tail and merges it in, instead of re-sorting the whole
+    /// vector (which made periodic snapshot percentiles O(n log n) each).
+    /// Interior mutability keeps percentile queries on `&self`; `RefCell`
+    /// makes the recorder `!Sync`, so the compiler still rules out
+    /// cross-thread races on the cache.
     sorted_cache: RefCell<Vec<u64>>,
 }
 
@@ -93,6 +96,7 @@ impl LatencyRecorder {
     }
 
     /// Records one latency sample.
+    #[inline]
     pub fn record(&mut self, latency_ns: u64) {
         self.samples.push(latency_ns);
         self.sum_ns += latency_ns;
@@ -109,6 +113,55 @@ impl LatencyRecorder {
         self.samples.is_empty()
     }
 
+    /// Brings the sorted cache up to date: sorts the samples recorded since
+    /// the cache was last built and merges them into the sorted prefix
+    /// (two-pointer merge), leaving the cache a sorted copy of every
+    /// sample. O(k log k + n) for k new samples instead of the former
+    /// O(n log n) full re-sort per stale query.
+    fn sync_sorted_cache(&self) {
+        let mut cache = self.sorted_cache.borrow_mut();
+        let prefix = cache.len();
+        let total = self.samples.len();
+        if prefix == total {
+            return;
+        }
+        // Sort only the new tail into a scratch buffer (O(window), not
+        // O(history)), then merge it into the sorted prefix backward: the
+        // write cursor always sits above the unread prefix cursor
+        // (`k - 1 = (i - 1) + j ≥ i` while `j > 0`), so the prefix merges
+        // in place and the only allocation is the tail scratch.
+        let mut tail = self.samples[prefix..].to_vec();
+        tail.sort_unstable();
+        if prefix == 0 {
+            *cache = tail;
+            return;
+        }
+        cache.resize(total, 0);
+        let (mut i, mut j, mut k) = (prefix, tail.len(), total);
+        while i > 0 && j > 0 {
+            if cache[i - 1] > tail[j - 1] {
+                cache[k - 1] = cache[i - 1];
+                i -= 1;
+            } else {
+                cache[k - 1] = tail[j - 1];
+                j -= 1;
+            }
+            k -= 1;
+        }
+        // A drained prefix leaves the smallest tail elements to place at the
+        // bottom; a drained tail leaves the prefix remainder already in
+        // position.
+        cache[..j].copy_from_slice(&tail[..j]);
+    }
+
+    /// Pre-builds the sorted percentile cache (a no-op when already
+    /// current). Called before cloning a recorder whose clone will be
+    /// queried — e.g. [`crate::session::Simulation::snapshot`] — so the
+    /// clone inherits a warm cache instead of re-ranking from scratch.
+    pub fn warm_percentile_cache(&self) {
+        self.sync_sorted_cache();
+    }
+
     /// The `p`-th percentile (0 < p ≤ 100) using nearest-rank interpolation.
     /// Returns 0 for an empty recorder.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -116,11 +169,8 @@ impl LatencyRecorder {
         if self.samples.is_empty() {
             return 0;
         }
-        let mut cache = self.sorted_cache.borrow_mut();
-        if cache.len() != self.samples.len() {
-            cache.clone_from(&self.samples);
-            cache.sort_unstable();
-        }
+        self.sync_sorted_cache();
+        let cache = self.sorted_cache.borrow();
         let rank = ((p / 100.0) * cache.len() as f64).ceil() as usize;
         cache[rank.clamp(1, cache.len()) - 1]
     }
@@ -265,6 +315,61 @@ mod tests {
         assert_eq!(r.percentile(100.0), 900);
         assert_eq!(r.percentile(50.0), 100);
         assert_eq!(r.max(), 900);
+    }
+
+    /// The incremental tail-merge cache must produce byte-identical
+    /// percentiles to a freshly sorted recorder, no matter how records and
+    /// queries interleave (including duplicate values straddling the
+    /// prefix/tail boundary).
+    #[test]
+    fn interleaved_records_and_queries_match_a_fresh_sort() {
+        let mut incremental = LatencyRecorder::new();
+        let mut recorded: Vec<u64> = Vec::new();
+        // Deterministic pseudo-random values with plenty of duplicates.
+        let mut x = 0x2545F491_u64;
+        for round in 0..50 {
+            for _ in 0..=(round % 7) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = x % 1000;
+                incremental.record(v);
+                recorded.push(v);
+            }
+            let mut fresh = LatencyRecorder::new();
+            for &v in &recorded {
+                fresh.record(v);
+            }
+            for p in [0.1, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+                assert_eq!(
+                    incremental.percentile(p),
+                    fresh.percentile(p),
+                    "round {round}, p{p}: tail-merge cache diverged from a full sort"
+                );
+            }
+        }
+    }
+
+    /// Warming the cache is query-invisible: it changes neither the
+    /// samples (equality) nor any subsequent percentile, and clones taken
+    /// after warming answer identically.
+    #[test]
+    fn warming_is_query_invisible_and_clones_stay_warm() {
+        let mut r = LatencyRecorder::new();
+        for v in [40u64, 10, 30, 20, 50] {
+            r.record(v);
+        }
+        let cold = r.clone();
+        r.warm_percentile_cache();
+        assert_eq!(r, cold, "warming must not affect equality");
+        let warmed_clone = r.clone();
+        for p in [20.0, 50.0, 80.0, 100.0] {
+            assert_eq!(warmed_clone.percentile(p), cold.percentile(p));
+        }
+        // Records after warming land in the tail and still merge correctly.
+        r.record(5);
+        assert_eq!(r.percentile(1.0), 5, "new minimum merges to the bottom");
+        assert_eq!(r.percentile(100.0), 50);
     }
 
     #[test]

@@ -54,8 +54,7 @@
 //! assert!(total.reads_completed + total.writes_completed >= warmup.reads_completed);
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use aero_nand::geometry::PageAddr;
 use aero_nand::timing::Micros;
@@ -192,6 +191,130 @@ pub trait SimObserver {
     fn on_page_write(&mut self, _write: &PageWriteEvent) {}
 }
 
+/// Sentinel for "no value" in the scheduler's `u64` arrays
+/// (`next_wake`, `write_deferred_at`).
+const NONE_NS: u64 = u64::MAX;
+
+/// Per-die scheduler hot state in struct-of-arrays layout, owned by the
+/// session.
+///
+/// The event loop touches `busy_until`, `next_wake`, the write-deferral
+/// stamp, and the cached program-latency scale on every dispatch. Keeping
+/// them as four flat arrays (plus the precomputed die→channel map) means
+/// the whole scheduler state of a 16-die drive spans a handful of cache
+/// lines, instead of being scattered across the drive's much larger
+/// per-die structs (chip model, FTL, reverse map). The fields are per-run
+/// state — every session starts them from zero — so session ownership also
+/// makes stale-clock leakage between back-to-back runs structurally
+/// impossible.
+///
+/// `next_wake` doubles as the session's **wake-up calendar**: it is the
+/// authoritative pending wake-up per die (`NONE_NS` = idle), indexed by an
+/// armed-die bitmap with a cached global minimum. This replaces the former
+/// binary heap of `(time, die)` events:
+///
+/// * scheduling is a compare-and-store plus a bitmap OR — no allocation,
+///   no sift-up;
+/// * popping takes the cached minimum and rescans only the armed dies
+///   (`O(pending)` with a popcount-loop constant, ties broken toward the
+///   lowest die index exactly as the heap broke them);
+/// * the stale entries the heap accumulated (a die whose wake-up moved
+///   earlier left its old entry behind, to be dispatched as a no-op) can
+///   no longer exist, so every popped event is live work.
+struct DieSched {
+    /// Simulated time until which each die's array is occupied.
+    busy_until: Vec<u64>,
+    /// Authoritative pending wake-up per die (`NONE_NS` = none). The
+    /// calendar key: the next die event is the minimum of this array.
+    next_wake: Vec<u64>,
+    /// When the head of each die's write queue was first deferred because
+    /// its channel bus was busy (`NONE_NS` = not deferred). The accumulated
+    /// wait is charged to the channel once, when the write transfers.
+    write_deferred_at: Vec<u64>,
+    /// Mirror of each die's cached `program_scale`, refreshed whenever the
+    /// drive refreshes the authoritative copy (an erase changed wear).
+    program_scale: Vec<f64>,
+    /// Precomputed die → channel index map.
+    channel: Vec<u32>,
+    /// Bitmap of dies with a pending wake-up, one bit per die.
+    armed: Vec<u64>,
+    /// Cached earliest pending wake-up as `(time, die)`, or
+    /// `(NONE_NS, u32::MAX)` when no die is armed.
+    wake_min: (u64, u32),
+}
+
+impl DieSched {
+    fn new(ssd: &Ssd) -> DieSched {
+        let dies = ssd.dies.len();
+        DieSched {
+            busy_until: vec![0; dies],
+            next_wake: vec![NONE_NS; dies],
+            write_deferred_at: vec![NONE_NS; dies],
+            program_scale: ssd.dies.iter().map(|d| d.program_scale).collect(),
+            channel: (0..dies).map(|d| ssd.channel_of(d) as u32).collect(),
+            armed: vec![0; dies.div_ceil(64)],
+            wake_min: (NONE_NS, u32::MAX),
+        }
+    }
+
+    /// Schedules a wake-up for a die at absolute time `at`, keeping only
+    /// the earliest pending wake-up per die. A strictly earlier wake-up
+    /// always replaces the pending one, so a channel-busy deferral can
+    /// never delay newly arrived higher-priority work.
+    #[inline]
+    fn schedule(&mut self, die: usize, at: u64) {
+        if at < self.next_wake[die] {
+            self.next_wake[die] = at;
+            self.armed[die >> 6] |= 1 << (die & 63);
+            if (at, die as u32) < self.wake_min {
+                self.wake_min = (at, die as u32);
+            }
+        }
+    }
+
+    /// The earliest pending wake-up, or `None` when every die is idle.
+    #[inline]
+    fn peek(&self) -> Option<(u64, usize)> {
+        let (at, die) = self.wake_min;
+        (at != NONE_NS).then_some((at, die as usize))
+    }
+
+    /// Consumes the earliest pending wake-up (callers peeked first) and
+    /// re-derives the next minimum from the armed dies.
+    #[inline]
+    fn pop(&mut self) {
+        let die = self.wake_min.1 as usize;
+        self.next_wake[die] = NONE_NS;
+        self.armed[die >> 6] &= !(1 << (die & 63));
+        let mut best = (NONE_NS, u32::MAX);
+        for (word_idx, &word) in self.armed.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let die = (word_idx << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                // Ascending die order with a strict comparison reproduces
+                // the heap's `(time, die)` tie-break exactly.
+                if (self.next_wake[die], die as u32) < best {
+                    best = (self.next_wake[die], die as u32);
+                }
+            }
+        }
+        self.wake_min = best;
+    }
+}
+
+/// Outcome of one bounded scheduling decision in the merged
+/// step/run-until loop.
+#[derive(PartialEq, Eq)]
+enum StepOutcome {
+    /// One event was processed and the clock advanced to it.
+    Processed,
+    /// The next event lies beyond the caller's time bound; nothing ran.
+    Beyond,
+    /// Source drained and no wake-ups pending; nothing will ever run.
+    Finished,
+}
+
 /// Completion tracking for one in-flight request.
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
@@ -243,9 +366,9 @@ pub struct Simulation<'a, S> {
     /// Arrival time of the most recently pulled request, for contract
     /// checking (sources must yield non-decreasing arrivals).
     last_arrival_ns: u64,
-    /// Die wake-up events only — at most one pending entry per die plus
-    /// occasional channel-busy retries, deduplicated via `Die::next_wake`.
-    events: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-die scheduler hot state and the wake-up calendar (see
+    /// [`DieSched`]): at most one pending wake-up per die, earliest-first.
+    sched: DieSched,
     /// Per-request completion state: a dense slab where slot `i` holds the
     /// request with id `in_flight_base + i` (`None` once completed). Ids
     /// are handed out sequentially, so lookup is a subtraction instead of a
@@ -315,13 +438,14 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         let baseline_read_retry_histogram = ssd.read_retry_histogram;
         let baseline_writes_rejected = ssd.writes_rejected;
         let in_flight_base = ssd.next_request_id;
+        let sched = DieSched::new(ssd);
         let mut sim = Simulation {
             ssd,
             source,
             lookahead: None,
             exhausted: false,
             last_arrival_ns: 0,
-            events: BinaryHeap::new(),
+            sched,
             in_flight: VecDeque::new(),
             in_flight_base,
             in_flight_live: 0,
@@ -354,7 +478,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         // resumes at the new timeline's t=0.
         for die_idx in 0..sim.ssd.dies.len() {
             if sim.ssd.dies[die_idx].has_work() {
-                sim.schedule_wake(die_idx, 0);
+                sim.sched.schedule(die_idx, 0);
             }
         }
         sim
@@ -508,26 +632,50 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         }
 
         // Scheduler clocks: a die with pending work must have a wake-up
-        // scheduled, and no wake-up may lie in the simulated past
-        // (processed events are consumed in time order).
+        // scheduled, no wake-up may lie in the simulated past (wake-ups are
+        // consumed in time order), and the calendar's cached minimum and
+        // armed bitmap must agree with the authoritative `next_wake` array.
+        let mut expect_min = (NONE_NS, u32::MAX);
         for (die_idx, die) in self.ssd.dies.iter().enumerate() {
-            if die.has_work() && die.next_wake == u64::MAX {
+            let wake = self.sched.next_wake[die_idx];
+            if die.has_work() && wake == NONE_NS {
                 record(
                     out,
                     Invariant::SchedulerClock,
                     format!("die {die_idx} has pending work but no scheduled wake-up"),
                 );
             }
-            if die.next_wake != u64::MAX && die.next_wake < self.now {
+            if wake != NONE_NS && wake < self.now {
                 record(
                     out,
                     Invariant::SchedulerClock,
                     format!(
                         "die {die_idx}: wake-up at {} lies before the clock {}",
-                        die.next_wake, self.now
+                        wake, self.now
                     ),
                 );
             }
+            let armed = self.sched.armed[die_idx >> 6] & (1 << (die_idx & 63)) != 0;
+            if armed != (wake != NONE_NS) {
+                record(
+                    out,
+                    Invariant::SchedulerClock,
+                    format!("die {die_idx}: armed bit is {armed} but next_wake is {wake}"),
+                );
+            }
+            if wake != NONE_NS && (wake, die_idx as u32) < expect_min {
+                expect_min = (wake, die_idx as u32);
+            }
+        }
+        if self.sched.wake_min != expect_min {
+            record(
+                out,
+                Invariant::SchedulerClock,
+                format!(
+                    "calendar cached minimum {:?} but the earliest armed wake-up is {:?}",
+                    self.sched.wake_min, expect_min
+                ),
+            );
         }
     }
 
@@ -634,51 +782,73 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         self.reads_completed + self.writes_completed
     }
 
-    /// True once the source is drained and every queued event has been
-    /// processed — [`Simulation::step`] would return `false`.
-    pub fn is_finished(&mut self) -> bool {
-        self.peek_arrival().is_none() && self.events.is_empty()
+    /// Current size of the in-flight slab — the window spanning the oldest
+    /// incomplete request to the newest admitted one, including already-
+    /// completed slots the window still covers. Leading completed slots are
+    /// popped eagerly, so this tracks live concurrency, not run length;
+    /// long-session memory guards watch its peak.
+    pub fn in_flight_window(&self) -> usize {
+        self.in_flight.len()
     }
 
-    /// Processes exactly one event — the next request arrival or the next
-    /// die wake-up, whichever is earlier (arrivals win ties) — and advances
-    /// [`Simulation::now`] to its timestamp. Returns `false` when the run
-    /// is finished (source drained, no pending events).
-    pub fn step(&mut self) -> bool {
+    /// True once the source is drained and every pending wake-up has been
+    /// processed — [`Simulation::step`] would return `false`.
+    pub fn is_finished(&mut self) -> bool {
+        self.peek_arrival().is_none() && self.sched.peek().is_none()
+    }
+
+    /// The shared core of [`Simulation::step`] and
+    /// [`Simulation::run_until`]: picks the next event — request arrival or
+    /// die wake-up, whichever is earlier (arrivals win ties, preserving the
+    /// batch replay's event order) — and processes it only when its
+    /// timestamp is at or before `limit`. Merging the two entry points
+    /// means `run_until` peeks each event once, not once to bound-check and
+    /// again inside `step`.
+    fn step_limited(&mut self, limit: u64) -> StepOutcome {
         let arrival_at = self.peek_arrival().map(|r| r.arrival_ns);
-        let die_event = self.events.peek().map(|&Reverse(key)| key);
-        // Arrivals win ties, preserving the batch replay's event order.
-        let take_arrival = match (arrival_at, die_event) {
+        let wake = self.sched.peek();
+        let take_arrival = match (arrival_at, wake) {
             (Some(at), Some((die_at, _))) => at <= die_at,
             (Some(_), None) => true,
             (None, Some(_)) => false,
-            (None, None) => return false,
+            (None, None) => return StepOutcome::Finished,
         };
         if take_arrival {
+            // aero-lint: allow(D4, take_arrival is only true when an arrival was peeked)
+            let at = arrival_at.expect("take_arrival implies a peeked arrival");
+            if at > limit {
+                return StepOutcome::Beyond;
+            }
             let request = self
                 .lookahead
                 .take()
                 // aero-lint: allow(D4, peek_arrival returned Some above, so the lookahead slot is filled)
                 .expect("peek_arrival returned Some, so the lookahead is filled");
-            self.now = request.arrival_ns;
+            self.now = at;
             self.admit(request);
         } else {
-            // aero-lint: allow(D4, the take_arrival match returned early unless a die event exists)
-            let (now, die_idx) = die_event.expect("no arrival taken implies a die event");
-            self.events.pop();
-            self.now = now;
-            // Popping the die's earliest-known wake-up forgets it; stale
-            // later entries dispatch harmlessly (dispatch re-checks
-            // `busy_until` and the work queues).
-            if self.ssd.dies[die_idx].next_wake == now {
-                self.ssd.dies[die_idx].next_wake = u64::MAX;
+            // aero-lint: allow(D4, the take_arrival match returned early unless a wake-up is pending)
+            let (now, die_idx) = wake.expect("no arrival taken implies a pending wake-up");
+            if now > limit {
+                return StepOutcome::Beyond;
             }
+            self.sched.pop();
+            self.now = now;
             self.dispatch(die_idx, now);
         }
         if self.auditor.as_deref_mut().is_some_and(Auditor::note_event) {
             self.run_checkpoint();
         }
-        true
+        StepOutcome::Processed
+    }
+
+    /// Processes exactly one event — the next request arrival or the next
+    /// die wake-up, whichever is earlier (arrivals win ties) — and advances
+    /// [`Simulation::now`] to its timestamp. Returns `false` when the run
+    /// is finished (source drained, no pending wake-ups).
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        self.step_limited(u64::MAX) == StepOutcome::Processed
     }
 
     /// Runs every event scheduled at or before `t_ns`, then advances
@@ -687,19 +857,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
     /// time-series measurements or warm-up/measurement splits.
     pub fn run_until(&mut self, t_ns: u64) -> u64 {
         let mut steps = 0;
-        loop {
-            let arrival_at = self.peek_arrival().map(|r| r.arrival_ns);
-            let die_at = self.events.peek().map(|&Reverse((at, _))| at);
-            let next = match (arrival_at, die_at) {
-                (Some(a), Some(d)) => a.min(d),
-                (Some(a), None) => a,
-                (None, Some(d)) => d,
-                (None, None) => break,
-            };
-            if next > t_ns {
-                break;
-            }
-            self.step();
+        while self.step_limited(t_ns) == StepOutcome::Processed {
             steps += 1;
         }
         self.now = self.now.max(t_ns);
@@ -749,16 +907,19 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
     /// migrations, the erase job) stays. `pub(crate)` so the scenario
     /// driver can cut power mid-loop while keeping its request accounting.
     pub(crate) fn power_cut(&mut self) {
-        for entry in self.in_flight.iter_mut() {
-            *entry = None;
-        }
+        // Every slab entry is dropped, so the whole window compacts away:
+        // the slab collapses to empty with its base advanced past every id
+        // this session handed out (the same state a fully drained run ends
+        // in, so the density invariant keeps holding).
+        self.in_flight.clear();
+        self.in_flight_base = self.ssd.next_request_id;
         self.in_flight_live = 0;
         for die in &mut self.ssd.dies {
             die.user_reads.clear();
             die.user_writes.clear();
-            // The deferral stamp describes the dropped queue head.
-            die.write_deferred_at = None;
         }
+        // The deferral stamps describe the dropped queue heads.
+        self.sched.write_deferred_at.fill(NONE_NS);
     }
 
     /// Read-only view of the drive mid-session, so in-crate white-box tests
@@ -784,10 +945,44 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
     /// (micro- to milliseconds) the skew is negligible, but
     /// boundary-straddling requests are attributed to the earlier window.
     pub fn snapshot(&self) -> RunReport {
+        // Warm the percentile caches before cloning: the merge is
+        // incremental (only samples since the last snapshot get sorted), and
+        // the clones inherit the warm cache, so querying the snapshot's
+        // tails doesn't re-rank the full sample history every window.
+        self.read_latency.warm_percentile_cache();
+        self.write_latency.warm_percentile_cache();
+        for accum in &self.tenant_stats {
+            accum.latency.warm_percentile_cache();
+            accum.queue_delay.warm_percentile_cache();
+        }
         let mut report = self.report_shell();
         report.read_latency = self.read_latency.clone();
         report.write_latency = self.write_latency.clone();
         report
+    }
+
+    /// [`Simulation::snapshot`] without the latency clones: everything in a
+    /// report except the latency recorders (left empty). Periodic telemetry
+    /// that only needs counters — completions, GC/erase activity, channel
+    /// and health stats — should use this with the borrowed
+    /// [`Simulation::read_latency`]/[`Simulation::write_latency`] recorders
+    /// for tails, so a snapshot window costs O(dies + channels) instead of
+    /// cloning the run's whole sample history.
+    pub fn snapshot_shell(&self) -> RunReport {
+        self.report_shell()
+    }
+
+    /// Borrowed view of the run's read-latency recorder. Percentile queries
+    /// on it are incremental (only samples since the last query get
+    /// sorted), so polling tails every window is cheap.
+    pub fn read_latency(&self) -> &LatencyRecorder {
+        &self.read_latency
+    }
+
+    /// Borrowed view of the run's write-latency recorder; see
+    /// [`Simulation::read_latency`].
+    pub fn write_latency(&self) -> &LatencyRecorder {
+        &self.write_latency
     }
 
     /// Everything in a report except the latency recorders.
@@ -875,7 +1070,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
     /// this to interleave device progress with its own submission clock.
     pub(crate) fn next_event_at(&mut self) -> Option<u64> {
         let arrival = self.peek_arrival().map(|r| r.arrival_ns);
-        let die = self.events.peek().map(|&Reverse((at, _))| at);
+        let die = self.sched.peek().map(|(at, _)| at);
         match (arrival, die) {
             (Some(a), Some(d)) => Some(a.min(d)),
             (Some(a), None) => Some(a),
@@ -913,6 +1108,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
 
     /// Fills the one-request lookahead from the source (if empty) and
     /// returns it.
+    #[inline]
     fn peek_arrival(&mut self) -> Option<&IoRequest> {
         if self.lookahead.is_none() && !self.exhausted {
             match self.source.next_request() {
@@ -973,7 +1169,10 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                     .unwrap_or((lpn as usize) % self.ssd.dies.len()),
                 IoOp::Write => {
                     let d = self.ssd.next_write_die;
-                    self.ssd.next_write_die = (self.ssd.next_write_die + 1) % self.ssd.dies.len();
+                    // Branchy wrap instead of `%`: the round-robin advance
+                    // runs once per written page.
+                    let next = d + 1;
+                    self.ssd.next_write_die = if next == self.ssd.dies.len() { 0 } else { next };
                     d
                 }
             };
@@ -986,26 +1185,28 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         }
     }
 
+    /// Arms a die's wake-up for `now` or whenever its array frees up,
+    /// whichever is later.
+    #[inline]
     fn kick_die(&mut self, die_idx: usize, now: u64) {
-        let at = now.max(self.ssd.dies[die_idx].busy_until);
-        self.schedule_wake(die_idx, at);
+        let at = now.max(self.sched.busy_until[die_idx]);
+        self.sched.schedule(die_idx, at);
     }
 
-    /// Schedules a wake-up for a die at absolute time `at`, deduplicated
-    /// against the die's earliest already-pending wake-up. A strictly
-    /// earlier wake-up is always pushed, so a channel-busy deferral can
-    /// never delay newly arrived higher-priority work.
-    fn schedule_wake(&mut self, die_idx: usize, at: u64) {
-        let die = &mut self.ssd.dies[die_idx];
-        if at < die.next_wake {
-            die.next_wake = at;
-            self.events.push(Reverse((at, die_idx)));
+    /// Ends a die's write-deferral window (if one is open) and charges the
+    /// accumulated bus wait to the channel.
+    #[inline]
+    fn charge_write_deferral(&mut self, die_idx: usize, channel_idx: usize, now: u64) {
+        let deferred_at = self.sched.write_deferred_at[die_idx];
+        if deferred_at != NONE_NS {
+            self.sched.write_deferred_at[die_idx] = NONE_NS;
+            self.ssd.channels[channel_idx].wait_ns += now - deferred_at;
         }
     }
 
     /// Dispatches the next piece of work on a die at time `now`.
     fn dispatch(&mut self, die_idx: usize, now: u64) {
-        if self.ssd.dies[die_idx].busy_until > now {
+        if self.sched.busy_until[die_idx] > now {
             // Spurious wake-up; re-arm.
             self.kick_die(die_idx, now);
             return;
@@ -1013,7 +1214,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         let timings = self.ssd.config.family.timings;
         let transfer = self.ssd.config.transfer_ns;
         let suspension = self.ssd.config.erase_suspension;
-        let channel_idx = self.ssd.channel_of(die_idx);
+        let channel_idx = self.sched.channel[die_idx] as usize;
 
         // Priority 1: user reads (they may suspend an in-flight erase).
         if let Some(txn) = self.ssd.dies[die_idx].user_reads.pop_front() {
@@ -1089,9 +1290,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 // Graceful degradation: the host transfer happens (the data
                 // arrived at the controller) but nothing is programmed; the
                 // page completes as `DriveReadOnly`.
-                if let Some(deferred_at) = self.ssd.dies[die_idx].write_deferred_at.take() {
-                    self.ssd.channels[channel_idx].wait_ns += now - deferred_at;
-                }
+                self.charge_write_deferral(die_idx, channel_idx, now);
                 self.ssd.writes_rejected += 1;
                 let done = self.ssd.channels[channel_idx].reserve(now, transfer) + transfer;
                 self.complete_page(txn, done, CompletionStatus::DriveReadOnly);
@@ -1105,17 +1304,15 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                 // time is charged when the write finally transfers, so
                 // re-dispatches during the wait (e.g. for a newly arrived
                 // read) cannot double-count overlapping wait windows.
-                if self.ssd.dies[die_idx].write_deferred_at.is_none() {
-                    self.ssd.dies[die_idx].write_deferred_at = Some(now);
+                if self.sched.write_deferred_at[die_idx] == NONE_NS {
+                    self.sched.write_deferred_at[die_idx] = now;
                     self.ssd.channels[channel_idx].write_deferrals += 1;
                 }
-                self.schedule_wake(die_idx, bus_free_at);
+                self.sched.schedule(die_idx, bus_free_at);
                 return;
             }
-            if let Some(deferred_at) = self.ssd.dies[die_idx].write_deferred_at.take() {
-                self.ssd.channels[channel_idx].wait_ns += now - deferred_at;
-            }
-            let program_scale = self.ssd.dies[die_idx].program_scale;
+            self.charge_write_deferral(die_idx, channel_idx, now);
+            let program_scale = self.sched.program_scale[die_idx];
             // An active rescue that needs every remaining page slot on the
             // die blocks user writes: a write landing now would strand a
             // live page on the erase victim. The stall path below dispatches
@@ -1199,7 +1396,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         let timings = self.ssd.config.family.timings;
         let transfer = self.ssd.config.transfer_ns;
         let pages_per_block = self.ssd.config.family.geometry.pages_per_block;
-        let channel_idx = self.ssd.channel_of(die_idx);
+        let channel_idx = self.sched.channel[die_idx] as usize;
         if let Some(mv) = self.ssd.dies[die_idx].gc_moves.pop_front() {
             // Migrate one valid page: read it out over the channel bus and
             // rewrite it on the same die (a second bus transfer through the
@@ -1210,7 +1407,7 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             let read_out_done =
                 self.ssd.channels[channel_idx].reserve(sense_done, transfer) + transfer;
             let mut done = read_out_done;
-            let program_scale = self.ssd.dies[die_idx].program_scale;
+            let program_scale = self.sched.program_scale[die_idx];
             let still_valid = lpn != u64::MAX
                 && self.ssd.dies[die_idx]
                     .ftl
@@ -1253,6 +1450,9 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
             let block = self.ssd.dies[die_idx].erase_job.as_ref().unwrap().block;
             let stats_before = self.ssd.controller.stats().total_latency;
             let (latencies, failed) = self.ssd.decide_erase(die_idx, block);
+            // The erase advanced the die's wear, so the drive refreshed its
+            // cached program-latency scale; refresh the scheduler's mirror.
+            self.sched.program_scale[die_idx] = self.ssd.dies[die_idx].program_scale;
             // The controller recorded exactly this erase since the probe,
             // so the delta is this erase's device latency — tracked for the
             // run-local `max_latency` the report carries (lifetime maxima
@@ -1317,7 +1517,11 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
                     completed_at: now + latency.max(1),
                 });
             }
-            die.erase_job = None;
+            // Reclaim the finished job's loop buffer so the die's next
+            // erase decision reuses the allocation.
+            if let Some(job) = die.erase_job.take() {
+                die.loop_scratch = job.loop_latencies;
+            }
             if !failed {
                 die.ftl.finish_erase(block);
             }
@@ -1357,12 +1561,14 @@ impl<'a, S: WorkloadSource> Simulation<'a, S> {
         }
     }
 
+    /// Occupies the die's array for `latency` and, when it still has queued
+    /// work, arms its wake-up for the moment the array frees up.
+    #[inline]
     fn make_busy(&mut self, die_idx: usize, now: u64, latency: u64) {
-        let die = &mut self.ssd.dies[die_idx];
-        die.busy_until = now + latency;
-        if die.has_work() {
-            let at = die.busy_until;
-            self.schedule_wake(die_idx, at);
+        let until = now + latency;
+        self.sched.busy_until[die_idx] = until;
+        if self.ssd.dies[die_idx].has_work() {
+            self.sched.schedule(die_idx, until);
         }
     }
 
@@ -1469,7 +1675,6 @@ mod tests {
         assert_eq!(processed, 150, "the run has far more than 150 events");
         for die in &ssd.dies {
             assert!(die.user_reads.is_empty() && die.user_writes.is_empty());
-            assert!(die.write_deferred_at.is_none());
         }
         assert!(ssd.audit().is_clean(), "{:?}", ssd.audit().violations);
         // The drive stays usable: a fresh session finishes the workload.
@@ -1514,7 +1719,7 @@ mod tests {
         let mut now = 0;
         for _ in 0..3 {
             sim.dispatch(0, now);
-            now = sim.ssd.dies[0].busy_until;
+            now = sim.sched.busy_until[0];
         }
         assert_eq!(
             sim.ssd.erase_suspensions, 1,
@@ -1522,7 +1727,7 @@ mod tests {
         );
         // No reads pending: the erase resumes (one loop).
         sim.dispatch(0, now);
-        now = sim.ssd.dies[0].busy_until;
+        now = sim.sched.busy_until[0];
         // A read preempting the erase again is a second suspension.
         sim.ssd.dies[0]
             .user_reads
@@ -1547,6 +1752,7 @@ mod tests {
         let trace = Trace::empty();
         let mut sim = ssd.session(TraceSource::new(&trace));
         sim.ssd.dies[0].program_scale = scale;
+        sim.sched.program_scale[0] = scale;
         sim.ssd.dies[0].chip.set_program_latency_scale(scale);
         sim.ssd.dies[0].gc_moves.push_back(GcMove {
             victim_block: victim,
@@ -1559,43 +1765,43 @@ mod tests {
             + 2 * sim.ssd.config.transfer_ns
             + (timings.program.as_nanos() as f64 * scale) as u64;
         assert_eq!(
-            sim.ssd.dies[0].busy_until, expected,
+            sim.sched.busy_until[0], expected,
             "the migration must pay tR + two bus transfers + scaled tPROG"
         );
         assert_eq!(sim.ssd.gc_page_moves, 1);
     }
 
-    /// Satellite regression: a prior run's leftover per-die scheduler state
-    /// (`busy_until`, `next_wake`, `write_deferred_at`) must be reset at
-    /// session start, so back-to-back runs on one drive start their
-    /// timelines at zero instead of queueing t=0 arrivals behind stale
-    /// timestamps.
+    /// Satellite regression: per-run scheduler state left behind by a prior
+    /// run must not leak into the next one. The per-die scheduler clocks now
+    /// live in the session itself (fresh `DieSched` per session), so only
+    /// the channel-bus clocks remain drive-resident; poison those the way a
+    /// finished run leaves them and check the next run is unaffected.
     #[test]
-    fn session_start_resets_stale_die_scheduler_state() {
+    fn session_start_resets_stale_scheduler_state() {
         let config = SsdConfig::small_test(SchemeKind::Baseline).with_seed(3);
         let mut clean = Ssd::new(config.clone());
         let mut poisoned = Ssd::new(config);
         clean.fill_fraction(0.5);
         poisoned.fill_fraction(0.5);
-        // Poison the scheduler clocks exactly the way a finished run leaves
-        // them (fills and preconditioning never touch them).
-        for die in &mut poisoned.dies {
-            die.busy_until = 250_000_000;
-            die.next_wake = 42;
-            die.write_deferred_at = Some(7);
+        for channel in &mut poisoned.channels {
+            channel.busy_until = 250_000_000;
+            channel.transfers = 99;
+            channel.busy_ns = 77;
         }
         let trace = SyntheticWorkload::default_test().generate(500, 3);
         let clean_report = clean.run_trace(&trace);
         let poisoned_report = poisoned.run_trace(&trace);
         assert_eq!(
             clean_report, poisoned_report,
-            "stale die clocks must not leak into the next run"
+            "stale channel clocks must not leak into the next run"
         );
     }
 
-    /// White-box demonstration of the staleness the reset addresses: a
-    /// completed run leaves dies busy into its own timeline, and opening
-    /// the next session zeroes all of it.
+    /// White-box demonstration that back-to-back runs start from time zero:
+    /// a completed run leaves the drive's channel buses busy into its own
+    /// timeline, and opening the next session resets them and builds a
+    /// zeroed scheduler block (all dies free, no wake-ups pending — the
+    /// drained run left no internal work to re-arm).
     #[test]
     fn back_to_back_runs_start_from_time_zero() {
         let mut ssd = Ssd::new(SsdConfig::small_test(SchemeKind::Baseline));
@@ -1603,15 +1809,19 @@ mod tests {
         let trace = SyntheticWorkload::default_test().generate(400, 11);
         let _ = ssd.run_trace(&trace);
         assert!(
-            ssd.dies.iter().any(|d| d.busy_until > 0),
-            "a completed run leaves stale per-die busy clocks behind"
+            ssd.channels.iter().any(|c| c.busy_until > 0),
+            "a completed run leaves stale channel-bus clocks behind"
         );
         let sim = ssd.session(TraceSource::new(&trace));
         assert!(
-            sim.ssd.dies.iter().all(|d| d.busy_until == 0
-                && d.next_wake == u64::MAX
-                && d.write_deferred_at.is_none()),
-            "opening a session must reset every die's scheduler state"
+            sim.ssd.channels.iter().all(|c| c.busy_until == 0),
+            "opening a session must reset the channel buses"
+        );
+        assert!(
+            sim.sched.busy_until.iter().all(|&b| b == 0)
+                && sim.sched.peek().is_none()
+                && sim.sched.write_deferred_at.iter().all(|&d| d == NONE_NS),
+            "a fresh session starts with a zeroed scheduler block"
         );
     }
 

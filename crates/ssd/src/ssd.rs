@@ -144,6 +144,7 @@ pub(crate) struct Channel {
 impl Channel {
     /// Reserves the bus for `duration` starting no earlier than `earliest`;
     /// returns the granted start time.
+    #[inline]
     pub(crate) fn reserve(&mut self, earliest: u64, duration: u64) -> u64 {
         let start = earliest.max(self.busy_until);
         if start > earliest {
@@ -163,12 +164,6 @@ pub(crate) struct Die {
     pub(crate) ftl: DieFtl,
     /// Physical-page → logical-page reverse map (u64::MAX = invalid).
     pub(crate) p2l: Vec<u64>,
-    pub(crate) busy_until: u64,
-    /// Earliest pending wake-up event for this die in the event heap
-    /// (`u64::MAX` = none known). Pushing only strictly-earlier wake-ups
-    /// keeps the heap small; stale later entries are dispatched harmlessly
-    /// (dispatch re-checks `busy_until` and the work queues).
-    pub(crate) next_wake: u64,
     pub(crate) user_reads: VecDeque<PageTxn>,
     pub(crate) user_writes: VecDeque<PageTxn>,
     pub(crate) gc_moves: VecDeque<GcMove>,
@@ -181,10 +176,10 @@ pub(crate) struct Die {
     /// Running sum of every block's P/E-cycle count on this die, maintained
     /// on erase and preconditioning so the die-mean PEC is O(1) to read.
     pub(crate) pec_sum: u64,
-    /// When the head of `user_writes` was first deferred because its
-    /// channel bus was busy (`None` = not deferred). The accumulated wait
-    /// is charged to the channel once, when the write finally transfers.
-    pub(crate) write_deferred_at: Option<u64>,
+    /// Recycled per-loop latency buffer for erase decisions: reclaimed from
+    /// each finished [`EraseJob`], so steady-state erases on a die reuse
+    /// one allocation instead of building a fresh `Vec` per erase.
+    pub(crate) loop_scratch: Vec<u64>,
     /// Deterministic fault-injection model for this die (seeded from the
     /// drive seed; snapshot-safe via its exported RNG state). All draws go
     /// through it, so fault sequences replay exactly.
@@ -196,6 +191,7 @@ pub(crate) struct Die {
 
 impl Die {
     /// True while the die has queued or in-flight work of any kind.
+    #[inline]
     pub(crate) fn has_work(&self) -> bool {
         !self.user_reads.is_empty()
             || !self.user_writes.is_empty()
@@ -280,8 +276,6 @@ impl Ssd {
                 ),
                 ftl: DieFtl::new(blocks_per_die, pages_per_block),
                 p2l: vec![u64::MAX; (blocks_per_die * pages_per_block) as usize],
-                busy_until: 0,
-                next_wake: u64::MAX,
                 user_reads: VecDeque::new(),
                 user_writes: VecDeque::new(),
                 gc_moves: VecDeque::new(),
@@ -289,7 +283,7 @@ impl Ssd {
                 gc_in_progress: false,
                 program_scale: 1.0,
                 pec_sum: 0,
-                write_deferred_at: None,
+                loop_scratch: Vec::new(),
                 fault: FaultModel::new(
                     config.fault,
                     config.seed ^ FAULT_SEED_SALT ^ (i as u64 + 1),
@@ -401,7 +395,8 @@ impl Ssd {
             // no page is silently dropped.
             let placed = (0..self.dies.len()).any(|_| {
                 let die_idx = self.next_write_die;
-                self.next_write_die = (self.next_write_die + 1) % self.dies.len();
+                let next = self.next_write_die + 1;
+                self.next_write_die = if next == self.dies.len() { 0 } else { next };
                 self.place_write(die_idx, lpn).is_some()
             });
             assert!(
@@ -453,20 +448,14 @@ impl Ssd {
         self.session(TraceSource::new(trace)).run_to_end()
     }
 
-    /// Resets the per-run scheduler state at the start of a session:
+    /// Resets the per-run scheduler state the drive itself holds — the
     /// channel-bus clocks and counters (reports are run-local, and arrival
-    /// times restart from zero), per-die busy clocks, pending wake-ups, and
-    /// write-deferral stamps. Without the die resets, a prior run's leftover
-    /// `busy_until` would make the next run's t=0 arrivals queue behind
-    /// timestamps from a finished timeline.
+    /// times restart from zero). The per-die scheduler clocks (busy/wake
+    /// times, write-deferral stamps) live in the session's own scheduler
+    /// block, built fresh per session, so they cannot leak between runs.
     pub(crate) fn begin_run(&mut self) {
         for channel in &mut self.channels {
             *channel = Channel::default();
-        }
-        for die in &mut self.dies {
-            die.busy_until = 0;
-            die.next_wake = u64::MAX;
-            die.write_deferred_at = None;
         }
     }
 
@@ -485,6 +474,7 @@ impl Ssd {
     // ------------------------------------------------------------------
 
     /// The channel whose bus serves a die.
+    #[inline]
     pub(crate) fn channel_of(&self, die_idx: usize) -> usize {
         die_idx / self.config.chips_per_channel as usize
     }
@@ -628,16 +618,16 @@ impl Ssd {
         // A grown-bad block fails its status check outright, without
         // consuming an erase-failure draw from the fault RNG.
         let mut failed = die.grown_bad.remove(&block);
-        let mut latencies: Vec<u64> = match self.controller.erase(&mut die.chip, addr, block_id) {
+        // Reuse the buffer reclaimed from this die's previous erase job, so
+        // steady-state erases allocate nothing.
+        let mut latencies = std::mem::take(&mut die.loop_scratch);
+        latencies.clear();
+        match self.controller.erase(&mut die.chip, addr, block_id) {
             Ok(exec) => {
                 if !failed {
                     failed = die.fault.erase_fails(&exec.report);
                 }
-                exec.report
-                    .loops
-                    .iter()
-                    .map(|l| l.latency.as_nanos())
-                    .collect()
+                latencies.extend(exec.report.loops.iter().map(|l| l.latency.as_nanos()));
             }
             Err(_) => {
                 // The block exhausted the chip's loop budget (end of life); it
@@ -649,7 +639,7 @@ impl Ssd {
                     failed = true;
                 }
                 let loop_ns = self.config.family.timings.erase_loop().as_nanos();
-                vec![loop_ns; self.config.family.erase.max_loops as usize]
+                latencies.resize(self.config.family.erase.max_loops as usize, loop_ns);
             }
         };
         if latencies.is_empty() {
